@@ -1,0 +1,1 @@
+examples/certified_spanning_tree.ml: Array Ids_bignum Ids_graph Ids_proof Pls Printf

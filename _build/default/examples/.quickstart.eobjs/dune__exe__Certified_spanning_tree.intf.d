@@ -1,0 +1,1 @@
+examples/certified_spanning_tree.mli:

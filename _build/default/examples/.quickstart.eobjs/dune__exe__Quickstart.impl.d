@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ids_bignum Ids_graph Ids_hash Ids_proof Outcome Pls Printf Stats Sym_dmam

@@ -1,0 +1,1 @@
+examples/separation.ml: Dsym Ids_bignum Ids_graph Ids_lowerbound Ids_proof List Outcome Pls Printf

@@ -1,0 +1,1 @@
+examples/social_network.ml: Gni Ids_bignum Ids_graph Ids_proof Outcome Printf Sym_dmam

@@ -1,0 +1,1 @@
+examples/symmetric_communities.ml: Array Gni Gni_full Ids_bignum Ids_graph Ids_proof Lazy List Outcome Printf

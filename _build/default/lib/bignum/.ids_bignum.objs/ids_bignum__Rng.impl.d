@@ -1,0 +1,1 @@
+lib/bignum/rng.ml: Array Int64

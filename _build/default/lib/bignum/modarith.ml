@@ -1,0 +1,51 @@
+let add a b m =
+  let s = Nat.add a b in
+  if Nat.compare s m >= 0 then Nat.sub s m else s
+
+let sub a b m = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a m) b
+
+let mul a b m = Nat.rem (Nat.mul a b) m
+
+let pow a e m =
+  if Nat.is_zero m then raise Division_by_zero;
+  let rec go acc base e =
+    if Nat.is_zero e then acc
+    else begin
+      let q, r = Nat.divmod e Nat.two in
+      let acc = if Nat.is_one r then mul acc base m else acc in
+      go acc (mul base base m) q
+    end
+  in
+  go Nat.one (Nat.rem a m) e
+
+let pow_int a e m =
+  if e < 0 then invalid_arg "Modarith.pow_int: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc base m else acc in
+      go acc (mul base base m) (e lsr 1)
+    end
+  in
+  go Nat.one (Nat.rem a m) e
+
+let rec gcd a b = if Nat.is_zero b then a else gcd b (Nat.rem a b)
+
+(* Extended Euclid, with Bezout coefficients tracked modulo [m] to stay in
+   the naturals: invariant r_i = s_i * a (mod m). *)
+let inv a m =
+  if Nat.compare m Nat.two < 0 then invalid_arg "Modarith.inv: modulus must be >= 2";
+  let a = Nat.rem a m in
+  let rec go r0 s0 r1 s1 =
+    if Nat.is_zero r1 then if Nat.is_one r0 then Some s0 else None
+    else begin
+      let q, r2 = Nat.divmod r0 r1 in
+      let s2 = sub s0 (mul q s1 m) m in
+      go r1 s1 r2 s2
+    end
+  in
+  go m Nat.zero a Nat.one
+
+let inv_int a m =
+  if m < 2 then invalid_arg "Modarith.inv_int: modulus must be >= 2";
+  Option.map Nat.to_int (inv (Nat.of_int ((a mod m + m) mod m)) (Nat.of_int m))

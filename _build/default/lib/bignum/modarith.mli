@@ -1,0 +1,32 @@
+(** Modular arithmetic over {!Nat.t} values.
+
+    All operations take the modulus as their last argument and expect their
+    operands already reduced (asserted in debug builds). The protocols use
+    these as the field operations for hash evaluation when the prime exceeds
+    the native-integer range. *)
+
+val add : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [add a b m] is [(a + b) mod m]. *)
+
+val sub : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [sub a b m] is [(a - b) mod m], always non-negative. *)
+
+val mul : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [mul a b m] is [(a * b) mod m]. *)
+
+val pow : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** [pow a e m] is [a^e mod m] by square-and-multiply. *)
+
+val pow_int : Nat.t -> int -> Nat.t -> Nat.t
+(** [pow_int a e m] is [a^e mod m] for a native exponent [e >= 0]. *)
+
+val gcd : Nat.t -> Nat.t -> Nat.t
+(** Greatest common divisor (Euclid); [gcd 0 0 = 0]. *)
+
+val inv : Nat.t -> Nat.t -> Nat.t option
+(** [inv a m] is the multiplicative inverse of [a] modulo [m] when
+    [gcd a m = 1], via the extended Euclidean algorithm; [None] otherwise.
+    Requires [m >= 2]. *)
+
+val inv_int : int -> int -> int option
+(** Native-integer variant of {!inv}. *)

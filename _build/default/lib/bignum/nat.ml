@@ -1,0 +1,320 @@
+(* Little-endian arrays of limbs in base 2^26. The base is chosen so that a
+   limb product (< 2^52) plus carries stays well inside a 63-bit native int,
+   including the two-limb numerators used by Algorithm D's quotient guess. *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+
+let zero = [||]
+let one = [| 1 |]
+let two = [| 2 |]
+
+let is_zero a = Array.length a = 0
+let is_one a = Array.length a = 1 && a.(0) = 1
+
+(* Strip leading (high-order) zero limbs so representations are canonical. *)
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int k =
+  if k < 0 then invalid_arg "Nat.of_int: negative";
+  let rec limbs k acc = if k = 0 then List.rev acc else limbs (k lsr base_bits) ((k land mask) :: acc) in
+  Array.of_list (limbs k [])
+
+let to_int_opt a =
+  let n = Array.length a in
+  if n = 0 then Some 0
+  else if (n - 1) * base_bits >= 63 then None
+  else begin
+    let rec go i acc =
+      if i < 0 then Some acc
+      else
+        let high = acc lsl base_bits in
+        if high lsr base_bits <> acc || high < 0 then None
+        else
+          let acc' = high lor a.(i) in
+          if acc' < 0 then None else go (i - 1) acc'
+    in
+    go (n - 1) 0
+  end
+
+let to_int a =
+  match to_int_opt a with
+  | Some k -> k
+  | None -> failwith "Nat.to_int: overflow"
+
+let equal a b = a = b
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let x = if i < la then a.(i) else 0 in
+    let y = if i < lb then b.(i) else 0 in
+    let s = x + y + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let add_int a k = add a (of_int k)
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let y = if i < lb then b.(i) else 0 in
+    let d = a.(i) - y - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land mask;
+        carry := cur lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land mask;
+        carry := cur lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul_int a k = mul a (of_int k)
+
+let bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * base_bits) + width 1
+  end
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative shift";
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- v lsr base_bits
+    done;
+    normalize r
+  end
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Nat.shift_right: negative shift";
+  if is_zero a || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let n = la - limb_shift in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+(* Division by a single limb: straightforward high-to-low sweep. The running
+   remainder is < base, so [rem * base + limb < 2^52]. *)
+let divmod_limb a d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+(* Knuth TAOCP vol. 2, Algorithm 4.3.1 D. Both operands are first shifted so
+   the divisor's top limb has its high bit set, which bounds the quotient
+   guess [qhat] to within 2 of the true digit. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_limb a b.(0) in
+    (q, if r = 0 then zero else [| r |])
+  end
+  else begin
+    let shift = base_bits - (bit_length b - ((Array.length b - 1) * base_bits)) in
+    let u = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    (* Working copy of the dividend with one extra high limb. *)
+    let m = Array.length u - n in
+    let u = Array.append u (Array.make (m + n + 2 - Array.length u) 0) in
+    let q = Array.make (m + 1) 0 in
+    let v_top = v.(n - 1) and v_next = v.(n - 2) in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / v_top) and rhat = ref (num mod v_top) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := num - ((base - 1) * v_top)
+      end;
+      let continue = ref true in
+      while !continue && !rhat < base do
+        if !qhat * v_next > (!rhat lsl base_bits) lor u.(j + n - 2) then begin
+          decr qhat;
+          rhat := !rhat + v_top
+        end
+        else continue := false
+      done;
+      (* Multiply-and-subtract [qhat * v] from the current window of [u]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = u.(j + i) - (p land mask) - !borrow in
+        if d < 0 then begin
+          u.(j + i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* The guess was one too large: add the divisor back. *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(j + i) + v.(i) + !carry in
+          u.(j + i) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry) land mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+    end
+  in
+  go one a k
+
+let ten_pow_7 = 10_000_000
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    (* Peel seven decimal digits at a time using single-limb division. *)
+    let rec chunks a acc =
+      if is_zero a then acc
+      else
+        let q, r = divmod_limb a ten_pow_7 in
+        chunks q (r :: acc)
+    in
+    match chunks a [] with
+    | [] -> assert false
+    | first :: rest ->
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%07d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Nat.of_string: empty";
+  String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Nat.of_string: not a digit") s;
+  let acc = ref zero in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    let take = min 7 (len - !i) in
+    let chunk = int_of_string (String.sub s !i take) in
+    acc := add_int (mul_int !acc (int_of_float (10. ** float_of_int take))) chunk;
+    i := !i + take
+  done;
+  !acc
+
+let random_below rng n =
+  if is_zero n then invalid_arg "Nat.random_below: zero bound";
+  let k = bit_length n in
+  let limbs = (k + base_bits - 1) / base_bits in
+  let top_bits = k - ((limbs - 1) * base_bits) in
+  let rec draw () =
+    let r = Array.init limbs (fun i -> if i = limbs - 1 then Rng.bits rng top_bits else Rng.bits rng base_bits) in
+    let r = normalize r in
+    if compare r n < 0 then r else draw ()
+  in
+  draw ()
+
+let random_in rng lo hi =
+  if compare lo hi > 0 then invalid_arg "Nat.random_in: empty range";
+  add lo (random_below rng (add_int (sub hi lo) 1))
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

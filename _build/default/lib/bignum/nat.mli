@@ -1,0 +1,73 @@
+(** Arbitrary-precision natural numbers.
+
+    The paper's dAM protocol for Symmetry (Protocol 2) hashes into a prime
+    field with [p] in [\[10 n^(n+2), 100 n^(n+2)\]], and the Goldwasser–Sipser
+    GNI protocol hashes into a range proportional to [n!]; both overflow
+    native integers almost immediately. No bignum package is available in the
+    build environment, so this module implements the required arithmetic from
+    scratch: little-endian arrays of 26-bit limbs, schoolbook multiplication
+    and Knuth Algorithm D division — entirely adequate for the few-hundred-bit
+    numbers the protocols need.
+
+    All values are immutable. Results are always normalized (no leading zero
+    limbs), so structural equality coincides with numeric equality. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int k] converts a non-negative native integer.
+    @raise Invalid_argument if [k < 0]. *)
+
+val to_int : t -> int
+(** [to_int a] converts back to a native integer.
+    @raise Failure if the value exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+(** Like {!to_int} but returns [None] on overflow. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val add_int : t -> int -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b]. @raise Invalid_argument if [a < b]. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)]. @raise Division_by_zero if [b = 0]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow a k] is [a] raised to the non-negative native exponent [k]. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** Number of significant bits; [bit_length zero = 0]. *)
+
+val of_string : string -> t
+(** Parse a decimal string. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val random_below : Rng.t -> t -> t
+(** [random_below rng n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val random_in : Rng.t -> t -> t -> t
+(** [random_in rng lo hi] is uniform in [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67; 71; 73; 79; 83; 89; 97 ]
+
+let is_prime_int n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else begin
+    let rec go d = if d * d > n then true else if n mod d = 0 then false else go (d + 2) in
+    go 3
+  end
+
+(* One Miller-Rabin round: n - 1 = d * 2^s with d odd; witness a. *)
+let miller_rabin_round n d s a =
+  let x = Modarith.pow a d n in
+  let n_minus_1 = Nat.sub n Nat.one in
+  if Nat.is_one x || Nat.equal x n_minus_1 then true
+  else begin
+    let rec squaring x i =
+      if i >= s - 1 then false
+      else
+        let x = Modarith.mul x x n in
+        if Nat.equal x n_minus_1 then true else squaring x (i + 1)
+    in
+    squaring x 0
+  end
+
+let is_prime ?(rounds = 32) rng n =
+  match Nat.to_int_opt n with
+  | Some k when k < 100 * 100 -> is_prime_int k
+  | _ ->
+    let divisible_by_small =
+      List.exists
+        (fun p -> Nat.is_zero (Nat.rem n (Nat.of_int p)))
+        small_primes
+    in
+    if divisible_by_small then false
+    else begin
+      let n_minus_1 = Nat.sub n Nat.one in
+      (* Write n - 1 = d * 2^s with d odd. *)
+      let rec split d s = if Nat.is_zero (Nat.rem d Nat.two) then split (Nat.shift_right d 1) (s + 1) else (d, s) in
+      let d, s = split n_minus_1 0 in
+      let rec rounds_left k =
+        if k = 0 then true
+        else begin
+          let a = Nat.add Nat.two (Nat.random_below rng (Nat.sub n (Nat.of_int 3))) in
+          if miller_rabin_round n d s a then rounds_left (k - 1) else false
+        end
+      in
+      rounds_left rounds
+    end
+
+let random_prime_in rng lo hi =
+  if Nat.compare lo hi > 0 then invalid_arg "Prime.random_prime_in: empty range";
+  let max_tries = 10_000 * Nat.bit_length hi in
+  let rec search tries =
+    if tries = 0 then failwith "Prime.random_prime_in: no prime found"
+    else begin
+      let c = Nat.random_in rng lo hi in
+      (* Force the candidate odd (primes 2 below [lo] are irrelevant at the
+         magnitudes the protocols use). *)
+      let c = if Nat.is_zero (Nat.rem c Nat.two) then Nat.add c Nat.one else c in
+      if Nat.compare c hi <= 0 && is_prime rng c then c else search (tries - 1)
+    end
+  in
+  search max_tries
+
+let random_prime_in_int rng lo hi =
+  Nat.to_int (random_prime_in rng (Nat.of_int lo) (Nat.of_int hi))

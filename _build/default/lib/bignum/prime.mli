@@ -1,0 +1,26 @@
+(** Primality testing and prime search.
+
+    Theorem 3.2 of the paper instantiates its linear hash family with a prime
+    [p] in an interval [\[10 n^3, 100 n^3\]] (Protocol 1) or
+    [\[10 n^(n+2), 100 n^(n+2)\]] (Protocol 2); Bertrand's postulate
+    guarantees such a prime exists. [random_prime_in] finds one by rejection
+    sampling with Miller–Rabin. *)
+
+val is_prime : ?rounds:int -> Rng.t -> Nat.t -> bool
+(** [is_prime rng n] tests [n] for primality: trial division by small primes
+    followed by [rounds] (default 32) Miller–Rabin rounds with random bases.
+    The error probability is at most [4^-rounds] for composites. *)
+
+val is_prime_int : int -> bool
+(** Deterministic primality for native integers (trial division; intended for
+    the moderate values used by Protocol 1's field, up to ~2^40). *)
+
+val random_prime_in : Rng.t -> Nat.t -> Nat.t -> Nat.t
+(** [random_prime_in rng lo hi] samples uniform odd candidates in
+    [\[lo, hi\]] until one passes [is_prime].
+    @raise Invalid_argument if the interval is empty.
+    @raise Failure if no prime is found after a very large number of tries
+    (which cannot happen on the intervals the protocols use). *)
+
+val random_prime_in_int : Rng.t -> int -> int -> int
+(** Native-integer variant of {!random_prime_in}. *)

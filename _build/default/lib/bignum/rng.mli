@@ -1,0 +1,39 @@
+(** Deterministic splittable pseudo-random generator (splitmix64).
+
+    Every source of randomness in this repository flows through this module,
+    so that protocols, tests and experiments are reproducible given a seed.
+    The generator is [splitmix64] (Steele, Lea & Flood 2014): a 64-bit state
+    advanced by a Weyl sequence and finalized with an avalanche function. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    (statistically) independent of the remainder of [t]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int -> int
+(** [bits t k] is a uniformly random [k]-bit non-negative integer,
+    [0 <= k <= 62]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0].
+    Uses rejection sampling, so the distribution is exactly uniform. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

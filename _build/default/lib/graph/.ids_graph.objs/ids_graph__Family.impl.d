@@ -1,0 +1,1 @@
+lib/graph/family.ml: Array Graph Ids_bignum Iso List Perm

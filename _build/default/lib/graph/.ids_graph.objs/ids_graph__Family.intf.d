@@ -1,0 +1,1 @@
+lib/graph/family.mli: Graph Ids_bignum Perm

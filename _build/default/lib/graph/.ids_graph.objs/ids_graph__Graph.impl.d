@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Bitset Buffer Format Fun Ids_bignum Int List Set String

@@ -1,0 +1,1 @@
+lib/graph/iso.ml: Array Bitset Fun Graph Hashtbl List Option Perm Stdlib

@@ -1,0 +1,1 @@
+lib/graph/perm.ml: Array Bitset Format Fun Ids_bignum List String

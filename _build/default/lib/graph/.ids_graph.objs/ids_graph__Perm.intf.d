@@ -1,0 +1,1 @@
+lib/graph/perm.mli: Bitset Format Ids_bignum

@@ -1,0 +1,84 @@
+type t = { capacity : int; words : int array }
+
+let word_bits = 62
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make ((capacity + word_bits - 1) / word_bits) 0 }
+
+let capacity t = t.capacity
+
+let check t i = if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let add t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let remove t i =
+  check t i;
+  t.words.(i / word_bits) <- t.words.(i / word_bits) land lnot (1 lsl (i mod word_bits))
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let equal a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.equal: capacity mismatch";
+  a.words = b.words
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let bit = !word land - !word in
+      let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+      f ((w * word_bits) + log2 bit 0);
+      word := !word land lnot bit
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity xs =
+  let t = create capacity in
+  List.iter (add t) xs;
+  t
+
+let union a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.union: capacity mismatch";
+  { capacity = a.capacity; words = Array.mapi (fun i w -> w lor b.words.(i)) a.words }
+
+let inter a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.inter: capacity mismatch";
+  { capacity = a.capacity; words = Array.mapi (fun i w -> w land b.words.(i)) a.words }
+
+let subset a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.subset: capacity mismatch";
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let choose t =
+  let found = ref None in
+  (try iter (fun i -> found := Some i; raise Exit) t with Exit -> ());
+  !found
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (to_list t)))

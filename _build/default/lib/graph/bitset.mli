@@ -1,0 +1,46 @@
+(** Fixed-capacity bit sets over [0 .. capacity-1].
+
+    Adjacency rows of graphs are bit sets, and the hash protocols treat a
+    row as the characteristic vector of a neighborhood, so membership,
+    iteration and equality must all be cheap. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0 .. capacity-1]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+(** Equality of contents; requires equal capacities. *)
+
+val copy : t -> t
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Iterates members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over members in increasing order. *)
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity xs]. @raise Invalid_argument on out-of-range element. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val subset : t -> t -> bool
+val is_empty : t -> bool
+
+val choose : t -> int option
+(** Smallest member, or [None] if empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,165 @@
+module Rng = Ids_bignum.Rng
+
+let random_asymmetric rng n =
+  if n >= 2 && n <= 5 then invalid_arg "Family.random_asymmetric: no asymmetric graph exists for 2 <= n <= 5";
+  if n <= 1 then Graph.make n
+  else begin
+    let rec sample () =
+      let g = Graph.random_gnp rng n 0.5 in
+      if Graph.is_connected g && Iso.is_asymmetric g then g else sample ()
+    in
+    sample ()
+  end
+
+let random_symmetric rng n =
+  if n <= 1 then invalid_arg "Family.random_symmetric: need n >= 2";
+  if n <= 8 then begin
+    let rec sample () =
+      let g = Graph.random_connected_gnp rng n 0.5 in
+      if Iso.is_symmetric g then g else sample ()
+    in
+    sample ()
+  end
+  else begin
+    (* Plant a mirror symmetry: two copies of a random side joined by edges
+       between corresponding vertices (plus one apex when n is odd). *)
+    let half = n / 2 in
+    let side = Graph.random_connected_gnp rng half 0.5 in
+    let g = Graph.make n in
+    List.iter
+      (fun (u, v) ->
+        Graph.add_edge g u v;
+        Graph.add_edge g (u + half) (v + half))
+      (Graph.edges side);
+    for i = 0 to half - 1 do
+      Graph.add_edge g i (i + half)
+    done;
+    if n mod 2 = 1 then begin
+      Graph.add_edge g (n - 1) 0;
+      Graph.add_edge g (n - 1) half
+    end;
+    assert (Iso.is_symmetric g);
+    g
+  end
+
+let asymmetric_family rng ~n ~size =
+  let max_attempts = 200 * size in
+  let rec collect acc count attempts =
+    if count >= size || attempts >= max_attempts then List.rev acc
+    else begin
+      let g = random_asymmetric rng n in
+      if List.exists (fun h -> Iso.are_isomorphic g h) acc then collect acc count (attempts + 1)
+      else collect (g :: acc) (count + 1) (attempts + 1)
+    end
+  in
+  collect [] 0 0
+
+(* --- dumbbells ------------------------------------------------------------ *)
+
+let dumbbell f_a f_b =
+  let n = Graph.n f_a in
+  if Graph.n f_b <> n then invalid_arg "Family.dumbbell: side size mismatch";
+  let g = Graph.make ((2 * n) + 2) in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) (Graph.edges f_a);
+  List.iter (fun (u, v) -> Graph.add_edge g (u + n) (v + n)) (Graph.edges f_b);
+  let x_a = 2 * n and x_b = (2 * n) + 1 in
+  Graph.add_edge g 0 x_a;
+  Graph.add_edge g x_a x_b;
+  Graph.add_edge g x_b n;
+  g
+
+let dumbbell_x_a f = 2 * Graph.n f
+let dumbbell_x_b f = (2 * Graph.n f) + 1
+
+let dumbbell_mirror n =
+  let size = (2 * n) + 2 in
+  let a = Array.make size 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- i + n;
+    a.(i + n) <- i
+  done;
+  a.(2 * n) <- (2 * n) + 1;
+  a.((2 * n) + 1) <- 2 * n;
+  Perm.of_array a
+
+(* --- Dumbbell Symmetry (Definition 5) -------------------------------------- *)
+
+let dsym_graph f r =
+  if r < 0 then invalid_arg "Family.dsym_graph: negative path parameter";
+  let n = Graph.n f in
+  let size = (2 * n) + (2 * r) + 1 in
+  let g = Graph.make size in
+  List.iter
+    (fun (u, v) ->
+      Graph.add_edge g u v;
+      Graph.add_edge g (u + n) (v + n))
+    (Graph.edges f);
+  (* The path 0 - 2n - 2n+1 - ... - 2n+2r - n. *)
+  Graph.add_edge g 0 (2 * n);
+  for i = 0 to (2 * r) - 1 do
+    Graph.add_edge g ((2 * n) + i) ((2 * n) + i + 1)
+  done;
+  Graph.add_edge g ((2 * n) + (2 * r)) n;
+  g
+
+let dsym_sigma ~n ~r =
+  let size = (2 * n) + (2 * r) + 1 in
+  let a = Array.make size 0 in
+  for x = 0 to size - 1 do
+    a.(x) <-
+      (if x < n then x + n
+       else if x < 2 * n then x - n
+       else if x <= (2 * n) + r then (2 * n) + (2 * r) - (x - (2 * n))
+       else (2 * n) + ((2 * n) + (2 * r) - x))
+  done;
+  Perm.of_array a
+
+let is_dsym_member ~n ~r g =
+  let size = (2 * n) + (2 * r) + 1 in
+  Graph.n g = size
+  &&
+  let path_edges =
+    ((0, 2 * n) :: List.init (2 * r) (fun i -> ((2 * n) + i, (2 * n) + i + 1)))
+    @ [ ((2 * n) + (2 * r), n) ]
+  in
+  let path_ok = List.for_all (fun (u, v) -> Graph.has_edge g u v) path_edges in
+  let norm (u, v) = (min u v, max u v) in
+  let path_set = List.map norm path_edges in
+  let stray_ok =
+    List.for_all
+      (fun (u, v) ->
+        let internal_a = u < n && v < n in
+        let internal_b = u >= n && u < 2 * n && v >= n && v < 2 * n in
+        internal_a || internal_b || List.mem (norm (u, v)) path_set)
+      (Graph.edges g)
+  in
+  let mirror_ok =
+    let shift_ok = ref true in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Graph.has_edge g u v <> Graph.has_edge g (u + n) (v + n) then shift_ok := false
+      done
+    done;
+    !shift_ok
+  in
+  path_ok && stray_ok && mirror_ok
+
+let dsym_perturbed rng f r =
+  let n = Graph.n f in
+  let g = dsym_graph f r in
+  (* Flip a random vertex pair inside the B-side copy; retry until the flip
+     actually breaks the mirror (i.e. always, since the A side is untouched),
+     while keeping the graph connected. *)
+  let rec flip tries =
+    if tries = 0 then failwith "Family.dsym_perturbed: could not perturb"
+    else begin
+      let u = n + Rng.int rng n and v = n + Rng.int rng n in
+      if u = v then flip (tries - 1)
+      else begin
+        let h = Graph.copy g in
+        if Graph.has_edge h u v then Graph.remove_edge h u v else Graph.add_edge h u v;
+        if Graph.is_connected h && not (is_dsym_member ~n ~r h) then h else flip (tries - 1)
+      end
+    end
+  in
+  flip 100

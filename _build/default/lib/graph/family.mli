@@ -1,0 +1,66 @@
+(** The graph families used by the paper's constructions.
+
+    Section 3.3 (Dumbbell Symmetry) and Section 3.4 (the lower bound) both
+    build "dumbbell" graphs: two n-vertex graphs joined by a short bridge,
+    arranged so that the whole graph is symmetric iff the two sides are equal.
+    The lower bound additionally needs a large family [F] of asymmetric,
+    pairwise non-isomorphic graphs. *)
+
+val random_asymmetric : Ids_bignum.Rng.t -> int -> Graph.t
+(** A connected asymmetric graph on [n >= 6] vertices, by rejection sampling
+    of [G(n, 1/2)] (no asymmetric graph exists for [2 <= n <= 5]).
+    @raise Invalid_argument if [2 <= n <= 5]. *)
+
+val random_symmetric : Ids_bignum.Rng.t -> int -> Graph.t
+(** A connected graph on [n] vertices with a non-trivial automorphism:
+    rejection sampling at small [n], a planted mirror construction at
+    larger [n]. *)
+
+val asymmetric_family : Ids_bignum.Rng.t -> n:int -> size:int -> Graph.t list
+(** [asymmetric_family rng ~n ~size] is a list of at most [size] connected,
+    asymmetric, pairwise non-isomorphic graphs on [n] vertices — the family
+    [F] of Section 3.4. Fewer than [size] graphs are returned only if
+    sampling stalls (e.g. [n = 6] has just 8 such graphs up to
+    isomorphism). *)
+
+(** {1 Dumbbells (Section 3.4)}
+
+    [G(F_A, F_B)] has vertex set [V_A = {0..n-1}] carrying a copy of [F_A],
+    [V_B = {n..2n-1}] carrying a copy of [F_B], and bridge nodes
+    [x_A = 2n], [x_B = 2n+1] with edges [{v_A, x_A}], [{x_A, x_B}],
+    [{x_B, v_B}] where [v_A = 0] and [v_B = n]. *)
+
+val dumbbell : Graph.t -> Graph.t -> Graph.t
+(** @raise Invalid_argument if the sides have different vertex counts. *)
+
+val dumbbell_x_a : Graph.t -> int
+(** Index of bridge node [x_A] in [dumbbell f_a f_b] given a side graph. *)
+
+val dumbbell_x_b : Graph.t -> int
+
+val dumbbell_mirror : int -> Perm.t
+(** The mirror involution of a dumbbell with side size [n]: swaps [u_i^A]
+    with [u_i^B] and [x_A] with [x_B]. It is an automorphism of
+    [dumbbell f f] for every [f]. *)
+
+(** {1 Dumbbell Symmetry (Definition 5)} *)
+
+val dsym_graph : Graph.t -> int -> Graph.t
+(** [dsym_graph f r] is the DSym member built from side graph [f] on
+    [n] vertices and a connecting path through [2r + 1] fresh vertices:
+    vertices [0..n-1] carry [f], vertices [n..2n-1] carry the shifted copy,
+    and the path [0 - 2n - 2n+1 - ... - 2n+2r - n] joins them. *)
+
+val dsym_sigma : n:int -> r:int -> Perm.t
+(** The fixed automorphism [sigma] of Definition 5: swaps the two sides via
+    [x <-> x + n] and reverses the path. *)
+
+val is_dsym_member : n:int -> r:int -> Graph.t -> bool
+(** Ground-truth membership test for the language DSym: the three structural
+    conditions of Definition 5 checked globally. *)
+
+val dsym_perturbed : Ids_bignum.Rng.t -> Graph.t -> int -> Graph.t
+(** [dsym_perturbed rng f r] is a NO-instance for DSym obtained from
+    [dsym_graph f r] by flipping one random edge inside the second side, so
+    the two sides stop being mirror images while the path and "no stray
+    edges" conditions keep holding whenever possible. *)

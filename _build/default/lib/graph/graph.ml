@@ -1,0 +1,270 @@
+type t = { n : int; adj : Bitset.t array }
+
+let make n =
+  if n < 0 then invalid_arg "Graph.make: negative size";
+  { n; adj = Array.init n (fun _ -> Bitset.create n) }
+
+let n g = g.n
+
+let check_vertex g v = if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  Bitset.add g.adj.(u) v;
+  Bitset.add g.adj.(v) u
+
+let remove_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  Bitset.remove g.adj.(u) v;
+  Bitset.remove g.adj.(v) u
+
+let has_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  u <> v && Bitset.mem g.adj.(u) v
+
+let degree g v =
+  check_vertex g v;
+  Bitset.cardinal g.adj.(v)
+
+let neighbors g v =
+  check_vertex g v;
+  g.adj.(v)
+
+let closed_neighborhood g v =
+  check_vertex g v;
+  let s = Bitset.copy g.adj.(v) in
+  Bitset.add s v;
+  s
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let pairs = Bitset.fold (fun v acc -> if u < v then (u, v) :: acc else acc) g.adj.(u) [] in
+    acc := pairs @ !acc
+  done;
+  !acc
+
+let edge_count g = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 g.adj / 2
+
+let of_edges n es =
+  let g = make n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let copy g = { n = g.n; adj = Array.map Bitset.copy g.adj }
+
+let equal a b = a.n = b.n && Array.for_all2 Bitset.equal a.adj b.adj
+
+let is_connected g =
+  if g.n = 0 then false
+  else begin
+    let seen = Array.make g.n false in
+    let rec dfs v =
+      seen.(v) <- true;
+      Bitset.iter (fun u -> if not seen.(u) then dfs u) g.adj.(v)
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let induced g vs =
+  let k = List.length vs in
+  let index = Array.make g.n (-1) in
+  List.iteri
+    (fun i v ->
+      check_vertex g v;
+      if index.(v) <> -1 then invalid_arg "Graph.induced: duplicate vertex";
+      index.(v) <- i)
+    vs;
+  let h = make k in
+  List.iter
+    (fun v -> Bitset.iter (fun u -> if index.(u) >= 0 && u > v then add_edge h index.(v) index.(u)) g.adj.(v))
+    vs;
+  h
+
+let disjoint_union a b =
+  let g = make (a.n + b.n) in
+  List.iter (fun (u, v) -> add_edge g u v) (edges a);
+  List.iter (fun (u, v) -> add_edge g (u + a.n) (v + a.n)) (edges b);
+  g
+
+let relabel g sigma =
+  if Array.length sigma <> g.n then invalid_arg "Graph.relabel: size mismatch";
+  let h = make g.n in
+  List.iter (fun (u, v) -> add_edge h sigma.(u) sigma.(v)) (edges g);
+  h
+
+let adjacency_row_bits g v =
+  check_vertex g v;
+  String.init g.n (fun u -> if u = v || has_edge g u v then '1' else '0')
+
+let encode g =
+  let buf = Buffer.create (g.n * g.n / 2) in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      Buffer.add_char buf (if has_edge g u v then '1' else '0')
+    done
+  done;
+  Buffer.contents buf
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d, m=%d:" g.n (edge_count g);
+  List.iter (fun (u, v) -> Format.fprintf fmt " %d-%d" u v) (edges g);
+  Format.fprintf fmt ")"
+
+(* --- generators ----------------------------------------------------------- *)
+
+let path n =
+  let g = make n in
+  for i = 0 to n - 2 do
+    add_edge g i (i + 1)
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph.cycle: need at least 3 vertices";
+  let g = path n in
+  add_edge g (n - 1) 0;
+  g
+
+let complete n =
+  let g = make n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      add_edge g u v
+    done
+  done;
+  g
+
+let star n =
+  let g = make n in
+  for v = 1 to n - 1 do
+    add_edge g 0 v
+  done;
+  g
+
+let complete_bipartite a b =
+  let g = make (a + b) in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      add_edge g u v
+    done
+  done;
+  g
+
+let hypercube d =
+  if d < 0 then invalid_arg "Graph.hypercube: negative dimension";
+  let n = 1 lsl d in
+  let g = make n in
+  for u = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let v = u lxor (1 lsl bit) in
+      if u < v then add_edge g u v
+    done
+  done;
+  g
+
+let petersen () =
+  (* Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5. *)
+  let g = make 10 in
+  for i = 0 to 4 do
+    add_edge g i ((i + 1) mod 5);
+    add_edge g (5 + i) (5 + ((i + 2) mod 5));
+    add_edge g i (i + 5)
+  done;
+  g
+
+let grid rows cols =
+  let g = make (rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      if c + 1 < cols then add_edge g v (v + 1);
+      if r + 1 < rows then add_edge g v (v + cols)
+    done
+  done;
+  g
+
+let random_gnp rng n p =
+  let g = make n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Ids_bignum.Rng.float rng < p then add_edge g u v
+    done
+  done;
+  g
+
+let of_prufer seq =
+  let n = Array.length seq + 2 in
+  Array.iter (fun x -> if x < 0 || x >= n then invalid_arg "Graph.of_prufer: entry out of range") seq;
+  let g = make n in
+  let degree = Array.make n 1 in
+  Array.iter (fun x -> degree.(x) <- degree.(x) + 1) seq;
+  (* Repeatedly join the smallest remaining leaf to the next sequence entry. *)
+  let module IntSet = Set.Make (Int) in
+  let leaves = ref IntSet.empty in
+  for v = 0 to n - 1 do
+    if degree.(v) = 1 then leaves := IntSet.add v !leaves
+  done;
+  Array.iter
+    (fun x ->
+      let leaf = IntSet.min_elt !leaves in
+      leaves := IntSet.remove leaf !leaves;
+      add_edge g leaf x;
+      degree.(x) <- degree.(x) - 1;
+      if degree.(x) = 1 then leaves := IntSet.add x !leaves)
+    seq;
+  (match IntSet.elements !leaves with
+  | [ u; v ] -> add_edge g u v
+  | _ -> assert false);
+  g
+
+let random_tree rng n =
+  if n < 1 then invalid_arg "Graph.random_tree: need n >= 1";
+  if n = 1 then make 1
+  else if n = 2 then of_edges 2 [ (0, 1) ]
+  else of_prufer (Array.init (n - 2) (fun _ -> Ids_bignum.Rng.int rng n))
+
+let random_regular rng n d =
+  if d < 0 || d >= n then invalid_arg "Graph.random_regular: need 0 <= d < n";
+  if n * d mod 2 = 1 then invalid_arg "Graph.random_regular: n * d must be even";
+  (* Pairing model: shuffle n*d half-edge stubs, pair consecutively, restart
+     on self-loops or parallel edges. *)
+  let stubs = Array.concat (List.init n (fun v -> Array.make d v)) in
+  let rec attempt tries =
+    if tries = 0 then failwith "Graph.random_regular: too many restarts (d too close to n?)"
+    else begin
+      Ids_bignum.Rng.shuffle rng stubs;
+      let g = make n in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < Array.length stubs do
+        let u = stubs.(!i) and v = stubs.(!i + 1) in
+        if u = v || has_edge g u v then ok := false else add_edge g u v;
+        i := !i + 2
+      done;
+      if !ok then g else attempt (tries - 1)
+    end
+  in
+  attempt 5000
+
+let random_connected_gnp rng n p =
+  let rec attempt tries =
+    let g = random_gnp rng n p in
+    if is_connected g then g
+    else if tries = 0 then begin
+      (* Too sparse to connect by luck: thread a random Hamiltonian path. *)
+      let order = Array.init n Fun.id in
+      Ids_bignum.Rng.shuffle rng order;
+      for i = 0 to n - 2 do
+        if not (has_edge g order.(i) order.(i + 1)) then add_edge g order.(i) order.(i + 1)
+      done;
+      g
+    end
+    else attempt (tries - 1)
+  in
+  attempt 50

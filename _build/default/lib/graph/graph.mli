@@ -1,0 +1,105 @@
+(** Simple undirected graphs on vertex set [{0, ..., n-1}].
+
+    This is the network-graph representation used throughout the repository:
+    the paper's instances (Definition 3–5) are graphs, the distributed model
+    identifies network nodes with vertices, and the hash protocols treat the
+    closed neighborhood [N(v)] (which includes [v] itself, per Section 2.1 of
+    the paper) as row [v] of the adjacency matrix. *)
+
+type t
+
+val make : int -> t
+(** [make n] is the edgeless graph on [n] vertices. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] inserts the undirected edge [{u, v}].
+    @raise Invalid_argument on a self-loop or out-of-range endpoint. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val has_edge : t -> int -> int -> bool
+
+val degree : t -> int -> int
+(** Number of neighbors, excluding [v] itself. *)
+
+val neighbors : t -> int -> Bitset.t
+(** Open neighborhood of [v] (not including [v]). The returned set is the
+    internal one; callers must not mutate it. *)
+
+val closed_neighborhood : t -> int -> Bitset.t
+(** [N(v)] in the paper's convention: neighbors of [v] plus [v] itself
+    ("with self-loops for all vertices", Section 3.1.1). Fresh copy. *)
+
+val edges : t -> (int * int) list
+(** Edge list with [u < v], sorted lexicographically. *)
+
+val edge_count : t -> int
+
+val of_edges : int -> (int * int) list -> t
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Equality as labelled graphs (same vertex count and edge set). *)
+
+val is_connected : t -> bool
+(** True for the one-vertex graph; false for the empty graph on [n >= 2]. *)
+
+val induced : t -> int list -> t
+(** [induced g vs] is the subgraph induced on [vs], relabelled to
+    [0 .. length vs - 1] in the order given.
+    @raise Invalid_argument on duplicate or out-of-range vertices. *)
+
+val disjoint_union : t -> t -> t
+(** Vertices of the second graph are shifted by [n] of the first. *)
+
+val relabel : t -> int array -> t
+(** [relabel g sigma] is the graph with edge [{sigma u, sigma v}] for every
+    edge [{u, v}] of [g]; [sigma] must be a permutation of [0 .. n-1]. *)
+
+val adjacency_row_bits : t -> int -> string
+(** Row [v] of the adjacency matrix with the self-loop convention, as a
+    string of ['0']/['1'] characters of length [n]; used for fingerprints. *)
+
+val encode : t -> string
+(** Canonical labelled encoding: the upper triangle of the adjacency matrix
+    (no self-loops), row by row, as '0'/'1' characters. Equal iff {!equal}. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Generators} *)
+
+val path : int -> t
+val cycle : int -> t
+val complete : int -> t
+val star : int -> t
+val complete_bipartite : int -> int -> t
+val hypercube : int -> t
+(** [hypercube d] has [2^d] vertices. *)
+
+val petersen : unit -> t
+val grid : int -> int -> t
+
+val random_gnp : Ids_bignum.Rng.t -> int -> float -> t
+(** Erdős–Rényi [G(n, p)]. *)
+
+val random_connected_gnp : Ids_bignum.Rng.t -> int -> float -> t
+(** Resamples [G(n, p)] until connected (adds a random spanning path if the
+    density is too low to ever connect). *)
+
+val random_tree : Ids_bignum.Rng.t -> int -> t
+(** A uniformly random labelled tree on [n >= 1] vertices, decoded from a
+    uniform Prüfer sequence (Cayley: there are [n^(n-2)] of them). *)
+
+val of_prufer : int array -> t
+(** [of_prufer seq] decodes a Prüfer sequence of length [n - 2] into the
+    corresponding tree on [n = length seq + 2] vertices.
+    @raise Invalid_argument on out-of-range entries. *)
+
+val random_regular : Ids_bignum.Rng.t -> int -> int -> t
+(** [random_regular rng n d] is a (simple) [d]-regular graph on [n]
+    vertices, by the pairing model with restarts.
+    @raise Invalid_argument if [n * d] is odd or [d >= n]. *)

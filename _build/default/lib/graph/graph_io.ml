@@ -1,0 +1,92 @@
+(* graph6: n encoded in 1 or 4 bytes (printable ASCII, value + 63), followed
+   by the upper triangle of the adjacency matrix in column-major order
+   (x_{0,1}, x_{0,2}, x_{1,2}, x_{0,3}, ...), packed 6 bits per byte, padded
+   with zeros. *)
+
+let encode_size buf n =
+  if n <= 62 then Buffer.add_char buf (Char.chr (n + 63))
+  else if n <= 258047 then begin
+    Buffer.add_char buf '~';
+    Buffer.add_char buf (Char.chr (((n lsr 12) land 63) + 63));
+    Buffer.add_char buf (Char.chr (((n lsr 6) land 63) + 63));
+    Buffer.add_char buf (Char.chr ((n land 63) + 63))
+  end
+  else invalid_arg "Graph_io: graph too large for graph6"
+
+let to_graph6 g =
+  let n = Graph.n g in
+  let buf = Buffer.create (4 + (n * n / 12)) in
+  encode_size buf n;
+  let bits = ref 0 and count = ref 0 in
+  let flush_partial () =
+    if !count > 0 then begin
+      Buffer.add_char buf (Char.chr ((!bits lsl (6 - !count)) + 63));
+      bits := 0;
+      count := 0
+    end
+  in
+  let push b =
+    bits := (!bits lsl 1) lor (if b then 1 else 0);
+    incr count;
+    if !count = 6 then begin
+      Buffer.add_char buf (Char.chr (!bits + 63));
+      bits := 0;
+      count := 0
+    end
+  in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      push (Graph.has_edge g u v)
+    done
+  done;
+  flush_partial ();
+  Buffer.contents buf
+
+let of_graph6 s =
+  let s = String.trim s in
+  let s =
+    let header = ">>graph6<<" in
+    if String.length s >= String.length header && String.sub s 0 (String.length header) = header then
+      String.sub s (String.length header) (String.length s - String.length header)
+    else s
+  in
+  if s = "" then invalid_arg "Graph_io.of_graph6: empty";
+  let byte i =
+    if i >= String.length s then invalid_arg "Graph_io.of_graph6: truncated";
+    let c = Char.code s.[i] in
+    if c < 63 || c > 126 then invalid_arg "Graph_io.of_graph6: invalid byte";
+    c - 63
+  in
+  let n, start =
+    if s.[0] = '~' then begin
+      if String.length s >= 2 && s.[1] = '~' then invalid_arg "Graph_io.of_graph6: 8-byte sizes unsupported"
+      else (((byte 1) lsl 12) lor ((byte 2) lsl 6) lor byte 3, 4)
+    end
+    else (byte 0, 1)
+  in
+  let g = Graph.make n in
+  let need = n * (n - 1) / 2 in
+  let expected_bytes = start + ((need + 5) / 6) in
+  if String.length s <> expected_bytes then invalid_arg "Graph_io.of_graph6: wrong length";
+  let idx = ref 0 in
+  (try
+     for v = 1 to n - 1 do
+       for u = 0 to v - 1 do
+         let word = byte (start + (!idx / 6)) in
+         let bit = (word lsr (5 - (!idx mod 6))) land 1 in
+         if bit = 1 then Graph.add_edge g u v;
+         incr idx
+       done
+     done
+   with Invalid_argument _ -> invalid_arg "Graph_io.of_graph6: truncated");
+  g
+
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

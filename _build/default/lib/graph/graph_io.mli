@@ -1,0 +1,18 @@
+(** Graph interchange: the standard graph6 format and Graphviz export.
+
+    graph6 is the compact ASCII encoding used by nauty, geng and the
+    House of Graphs, so instances can be imported from, and exported to,
+    the standard corpora of small graphs (e.g. the known lists of
+    asymmetric graphs used to sanity-check the Section 3.4 family). Only
+    the short form (n <= 62) and the 4-byte form (n <= 258047) are
+    implemented — far beyond anything the protocols run on. *)
+
+val to_graph6 : Graph.t -> string
+(** Encode; no header ([>>graph6<<] prefixes are not emitted). *)
+
+val of_graph6 : string -> Graph.t
+(** Decode. Accepts an optional [>>graph6<<] header and surrounding
+    whitespace. @raise Invalid_argument on malformed input. *)
+
+val to_dot : ?name:string -> Graph.t -> string
+(** Graphviz [graph { ... }] source for visual inspection. *)

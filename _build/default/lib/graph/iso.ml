@@ -1,0 +1,182 @@
+(* Color refinement: start from degrees, then repeatedly replace each vertex
+   color by a canonical index for (color, sorted multiset of neighbor colors)
+   until the partition stabilizes. *)
+let refine_colors g =
+  let n = Graph.n g in
+  let colors = Array.init n (fun v -> Graph.degree g v) in
+  let stable = ref false in
+  let rounds = ref 0 in
+  while (not !stable) && !rounds < n do
+    incr rounds;
+    let signature v =
+      let neigh = Bitset.fold (fun u acc -> colors.(u) :: acc) (Graph.neighbors g v) [] in
+      (colors.(v), List.sort Stdlib.compare neigh)
+    in
+    (* Name the new colors by the rank of their signature in sorted order,
+       so the naming is label-invariant and comparable across graphs. *)
+    let sigs = Array.init n signature in
+    let distinct = List.sort_uniq Stdlib.compare (Array.to_list sigs) in
+    let rank =
+      let table = Hashtbl.create 16 in
+      List.iteri (fun i s -> Hashtbl.add table s i) distinct;
+      fun s -> Hashtbl.find table s
+    in
+    let next = Array.map rank sigs in
+    let count_classes a = List.length (List.sort_uniq Stdlib.compare (Array.to_list a)) in
+    if count_classes next = count_classes colors then stable := true;
+    Array.blit next 0 colors 0 n
+  done;
+  colors
+
+let is_automorphism g rho =
+  let n = Graph.n g in
+  Perm.size rho = n
+  &&
+  let ok = ref true in
+  List.iter
+    (fun (u, v) -> if not (Graph.has_edge g (Perm.apply rho u) (Perm.apply rho v)) then ok := false)
+    (Graph.edges g);
+  (* A permutation preserves the edge count, so mapping every edge to an edge
+     suffices for the "iff" of Definition 3. *)
+  !ok
+
+let is_isomorphism g1 g2 rho =
+  Graph.n g1 = Graph.n g2
+  && Perm.size rho = Graph.n g1
+  && Graph.edge_count g1 = Graph.edge_count g2
+  &&
+  let ok = ref true in
+  List.iter
+    (fun (u, v) -> if not (Graph.has_edge g2 (Perm.apply rho u) (Perm.apply rho v)) then ok := false)
+    (Graph.edges g1);
+  !ok
+
+(* Backtracking completion of a partial vertex map from g1 to g2. [image] has
+   -1 for unmapped vertices; [used] marks taken targets. Candidate targets
+   must match refined colors and be adjacency-consistent with every already
+   mapped vertex. *)
+let complete_mapping g1 g2 colors1 colors2 image used =
+  let n = Graph.n g1 in
+  let consistent u w =
+    let ok = ref true in
+    for x = 0 to n - 1 do
+      if !ok && image.(x) >= 0 then
+        if Graph.has_edge g1 u x <> Graph.has_edge g2 w image.(x) then ok := false
+    done;
+    !ok
+  in
+  let rec next_unmapped v = if v >= n then -1 else if image.(v) < 0 then v else next_unmapped (v + 1) in
+  let rec go () =
+    let u = next_unmapped 0 in
+    if u < 0 then true
+    else begin
+      let rec try_target w =
+        if w >= n then false
+        else if (not used.(w)) && colors1.(u) = colors2.(w) && consistent u w then begin
+          image.(u) <- w;
+          used.(w) <- true;
+          if go () then true
+          else begin
+            image.(u) <- -1;
+            used.(w) <- false;
+            try_target (w + 1)
+          end
+        end
+        else try_target (w + 1)
+      in
+      try_target 0
+    end
+  in
+  go ()
+
+let sorted_counts colors = List.sort Stdlib.compare (Array.to_list colors)
+
+let find_isomorphism g1 g2 =
+  let n1 = Graph.n g1 and n2 = Graph.n g2 in
+  if n1 <> n2 || Graph.edge_count g1 <> Graph.edge_count g2 then None
+  else begin
+    let colors1 = refine_colors g1 and colors2 = refine_colors g2 in
+    (* Refinement is canonical, so the color histograms must agree. *)
+    if sorted_counts colors1 <> sorted_counts colors2 then None
+    else begin
+      let image = Array.make n1 (-1) and used = Array.make n1 false in
+      if complete_mapping g1 g2 colors1 colors2 image used then Some (Perm.of_array image) else None
+    end
+  end
+
+let are_isomorphic g1 g2 = Option.is_some (find_isomorphism g1 g2)
+
+let find_nontrivial_automorphism g =
+  let n = Graph.n g in
+  let colors = refine_colors g in
+  (* Any non-trivial automorphism maps some vertex v to a w <> v; anchoring
+     that first move and completing the map covers all of them. We anchor the
+     smallest moved vertex, which additionally forces image x = x ... is not
+     sound in general, so we only anchor the single pair. *)
+  let rec try_pairs v w =
+    if v >= n then None
+    else if w >= n then try_pairs (v + 1) 0
+    else if w = v || colors.(v) <> colors.(w) then try_pairs v (w + 1)
+    else begin
+      let image = Array.make n (-1) and used = Array.make n false in
+      image.(v) <- w;
+      used.(w) <- true;
+      if Graph.degree g v = Graph.degree g w && complete_mapping g g colors colors image used then
+        Some (Perm.of_array image)
+      else try_pairs v (w + 1)
+    end
+  in
+  match try_pairs 0 0 with
+  | Some rho ->
+    assert (is_automorphism g rho && not (Perm.is_identity rho));
+    Some rho
+  | None -> None
+
+let is_symmetric g = Option.is_some (find_nontrivial_automorphism g)
+
+let is_asymmetric g = not (is_symmetric g)
+
+let orbits g =
+  let n = Graph.n g in
+  let colors = refine_colors g in
+  (* Union-find over vertices; v and w share an orbit iff some automorphism
+     maps v to w, decided by an anchored completion search. *)
+  let parent = Array.init n Fun.id in
+  let rec find v = if parent.(v) = v then v else find parent.(v) in
+  let union v w = parent.(find v) <- find w in
+  let mapped v w =
+    colors.(v) = colors.(w)
+    && Graph.degree g v = Graph.degree g w
+    &&
+    let image = Array.make n (-1) and used = Array.make n false in
+    image.(v) <- w;
+    used.(w) <- true;
+    complete_mapping g g colors colors image used
+  in
+  for v = 0 to n - 1 do
+    for w = v + 1 to n - 1 do
+      if find v <> find w && mapped v w then union v w
+    done
+  done;
+  let buckets = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    let r = find v in
+    Hashtbl.replace buckets r (v :: Option.value (Hashtbl.find_opt buckets r) ~default:[])
+  done;
+  let smallest = function [] -> max_int | v :: _ -> v in
+  Hashtbl.fold (fun _ vs acc -> vs :: acc) buckets []
+  |> List.sort (fun a b -> Stdlib.compare (smallest a) (smallest b))
+
+let automorphism_count g =
+  let n = Graph.n g in
+  if n > 10 then invalid_arg "Iso.automorphism_count: too large";
+  List.length (List.filter (fun p -> is_automorphism g p) (Perm.all n))
+
+let canonical_small g =
+  let n = Graph.n g in
+  if n > 10 then invalid_arg "Iso.canonical_small: too large";
+  List.fold_left
+    (fun best p ->
+      let enc = Graph.encode (Graph.relabel g (Perm.to_array p)) in
+      if enc < best then enc else best)
+    (Graph.encode g) (Perm.all n)

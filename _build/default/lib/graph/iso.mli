@@ -1,0 +1,49 @@
+(** Exact automorphism and isomorphism testing.
+
+    Ground truth for every experiment: the Symmetry language (Definition 3)
+    is decided by {!find_nontrivial_automorphism}, GNI (Definition 4) by
+    {!find_isomorphism}, and the lower-bound family of Section 3.4 needs
+    {!is_asymmetric} plus pairwise non-isomorphism. The search is
+    backtracking over a 1-dimensional Weisfeiler–Leman color refinement,
+    exact for the graph sizes used here (tens of vertices). *)
+
+val refine_colors : Graph.t -> int array
+(** Stable coloring of the vertices under iterated neighborhood refinement:
+    vertices that end up with distinct colors lie in distinct orbits of the
+    automorphism group (the converse need not hold). *)
+
+val is_automorphism : Graph.t -> Perm.t -> bool
+(** [is_automorphism g rho] checks the defining property of Definition 3:
+    [{u, v}] is an edge iff [{rho u, rho v}] is. *)
+
+val is_isomorphism : Graph.t -> Graph.t -> Perm.t -> bool
+
+val find_isomorphism : Graph.t -> Graph.t -> Perm.t option
+(** An isomorphism from the first graph to the second, if one exists. *)
+
+val are_isomorphic : Graph.t -> Graph.t -> bool
+
+val find_nontrivial_automorphism : Graph.t -> Perm.t option
+(** A non-trivial automorphism if the graph is symmetric, [None] if it is
+    asymmetric. This is the honest Merlin of Protocols 1 and 2. *)
+
+val is_symmetric : Graph.t -> bool
+(** Membership in the language Sym. *)
+
+val is_asymmetric : Graph.t -> bool
+
+val automorphism_count : Graph.t -> int
+(** Order of the automorphism group, by exhaustive enumeration; intended for
+    [n <= 8] (used to validate the [|S| = n!] vs [2 n!] counting in the
+    Goldwasser–Sipser analysis). @raise Invalid_argument if [n > 10]. *)
+
+val orbits : Graph.t -> int list list
+(** The vertex orbits of the automorphism group, exactly (by anchored
+    backtracking searches), sorted by smallest member. A graph is asymmetric
+    iff every orbit is a singleton. Intended for the same moderate sizes as
+    the rest of this module. *)
+
+val canonical_small : Graph.t -> string
+(** Canonical form for [n <= 8]: lexicographically smallest {!Graph.encode}
+    over all relabellings. Two small graphs are isomorphic iff their
+    canonical forms are equal. @raise Invalid_argument if [n > 10]. *)

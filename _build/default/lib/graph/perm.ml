@@ -1,0 +1,77 @@
+type t = int array
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n then invalid_arg "Perm.of_array: out of range";
+      if seen.(x) then invalid_arg "Perm.of_array: not injective";
+      seen.(x) <- true)
+    a;
+  Array.copy a
+
+let to_array t = Array.copy t
+
+let size = Array.length
+
+let apply t i = t.(i)
+
+let identity n = Array.init n Fun.id
+
+let is_identity t =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i <> x then ok := false) t;
+  !ok
+
+let compose a b =
+  if Array.length a <> Array.length b then invalid_arg "Perm.compose: size mismatch";
+  Array.map (fun i -> a.(i)) b
+
+let inverse t =
+  let inv = Array.make (Array.length t) 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) t;
+  inv
+
+let equal (a : t) (b : t) = a = b
+
+let transposition n i j =
+  if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Perm.transposition: out of range";
+  let a = identity n in
+  a.(i) <- j;
+  a.(j) <- i;
+  a
+
+let random rng n =
+  let a = identity n in
+  Ids_bignum.Rng.shuffle rng a;
+  a
+
+let random_nonidentity rng n =
+  if n < 2 then invalid_arg "Perm.random_nonidentity: need n >= 2";
+  let rec go () =
+    let p = random rng n in
+    if is_identity p then go () else p
+  in
+  go ()
+
+let apply_set t s =
+  let r = Bitset.create (Bitset.capacity s) in
+  Bitset.iter (fun i -> Bitset.add r t.(i)) s;
+  r
+
+let all n =
+  if n > 10 then invalid_arg "Perm.all: too large";
+  let rec perms = function
+    | [] -> [ [] ]
+    | xs -> List.concat_map (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) xs))) xs
+  in
+  List.map (fun p -> Array.of_list p) (perms (List.init n Fun.id))
+
+let fixpoint_count t =
+  let c = ref 0 in
+  Array.iteri (fun i x -> if i = x then incr c) t;
+  !c
+
+let pp fmt t =
+  Format.fprintf fmt "[%s]" (String.concat " " (Array.to_list (Array.map string_of_int t)))

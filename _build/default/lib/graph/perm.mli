@@ -1,0 +1,49 @@
+(** Permutations of [{0, ..., n-1}].
+
+    Automorphisms (Definition 3) and the isomorphisms of the GNI problem
+    (Definition 4) are permutations; Protocol 2 broadcasts one in full, and
+    the Goldwasser–Sipser prover responds with one. Represented as an array
+    [sigma] with [sigma.(i)] the image of [i]. *)
+
+type t = private int array
+
+val of_array : int array -> t
+(** Validates that the array is a permutation.
+    @raise Invalid_argument otherwise. *)
+
+val to_array : t -> int array
+(** A fresh copy; mutating it does not affect the permutation. *)
+
+val size : t -> int
+
+val apply : t -> int -> int
+
+val identity : int -> t
+val is_identity : t -> bool
+
+val compose : t -> t -> t
+(** [compose a b] maps [i] to [a (b i)]. *)
+
+val inverse : t -> t
+
+val equal : t -> t -> bool
+
+val transposition : int -> int -> int -> t
+(** [transposition n i j] swaps [i] and [j] and fixes everything else. *)
+
+val random : Ids_bignum.Rng.t -> int -> t
+(** Uniformly random permutation (Fisher–Yates). *)
+
+val random_nonidentity : Ids_bignum.Rng.t -> int -> t
+(** Uniform over non-identity permutations; requires [n >= 2]. *)
+
+val apply_set : t -> Bitset.t -> Bitset.t
+(** Image of a set: [rho(S) = { rho s | s in S }] (Section 3.1.1). *)
+
+val all : int -> t list
+(** All [n!] permutations, for small [n] (intended for [n <= 8]).
+    @raise Invalid_argument if [n > 10]. *)
+
+val fixpoint_count : t -> int
+
+val pp : Format.formatter -> t -> unit

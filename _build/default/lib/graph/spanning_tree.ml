@@ -1,0 +1,50 @@
+type t = { root : int; parent : int array; dist : int array }
+
+let bfs g root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Spanning_tree.bfs: root out of range";
+  let parent = Array.make n (-1) and dist = Array.make n (-1) in
+  parent.(root) <- root;
+  dist.(root) <- 0;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Bitset.iter
+      (fun u ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          parent.(u) <- v;
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  if Array.exists (fun d -> d < 0) dist then invalid_arg "Spanning_tree.bfs: graph not connected";
+  { root; parent; dist }
+
+let children t v =
+  let acc = ref [] in
+  for u = Array.length t.parent - 1 downto 0 do
+    if u <> t.root && t.parent.(u) = v then acc := u :: !acc
+  done;
+  !acc
+
+let subtree t v =
+  let rec collect v = v :: List.concat_map collect (children t v) in
+  List.sort Stdlib.compare (collect v)
+
+let is_valid g t =
+  let n = Graph.n g in
+  Array.length t.parent = n
+  && Array.length t.dist = n
+  && t.root >= 0
+  && t.root < n
+  && t.dist.(t.root) = 0
+  && t.parent.(t.root) = t.root
+  &&
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if v <> t.root then
+      if not (Graph.has_edge g v t.parent.(v)) || t.dist.(v) <> t.dist.(t.parent.(v)) + 1 then ok := false
+  done;
+  !ok && List.length (subtree t t.root) = n

@@ -1,0 +1,30 @@
+(** BFS spanning trees with parent and distance labels.
+
+    Every protocol in the paper aggregates hash values "up a spanning tree"
+    whose labels (parent pointer, distance from root, root identity) the
+    prover supplies and the nodes verify in the style of the proof-labeling
+    scheme of Korman–Kutten–Peleg. The honest prover computes the labels with
+    this module. *)
+
+type t = {
+  root : int;
+  parent : int array;  (** [parent.(root) = root]. *)
+  dist : int array;  (** BFS distance from the root. *)
+}
+
+val bfs : Graph.t -> int -> t
+(** [bfs g root] computes a BFS tree. @raise Invalid_argument if [g] is not
+    connected or [root] is out of range. *)
+
+val children : t -> int -> int list
+(** Children of a vertex in the tree, ascending. *)
+
+val subtree : t -> int -> int list
+(** Vertices of the subtree rooted at [v] (including [v]), ascending. *)
+
+val is_valid : Graph.t -> t -> bool
+(** Global check that the labels describe a BFS-consistent spanning tree of
+    [g]: every non-root's parent is a neighbor at distance one less, the
+    root has distance 0, and all vertices reach the root. This is the
+    ground-truth oracle against which the distributed verification of the
+    protocols is tested. *)

@@ -1,0 +1,1 @@
+lib/hash/api.ml: Array Field Ids_graph Linear

@@ -1,0 +1,1 @@
+lib/hash/api.mli: Field Ids_bignum Ids_graph

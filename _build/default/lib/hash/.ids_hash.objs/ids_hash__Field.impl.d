@@ -1,0 +1,1 @@
+lib/hash/field.ml: Ids_bignum Int

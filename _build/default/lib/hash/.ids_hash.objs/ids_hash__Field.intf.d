@@ -1,0 +1,1 @@
+lib/hash/field.mli: Ids_bignum

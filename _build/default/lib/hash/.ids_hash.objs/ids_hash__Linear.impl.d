@@ -1,0 +1,1 @@
+lib/hash/linear.ml: Array Field Ids_graph List

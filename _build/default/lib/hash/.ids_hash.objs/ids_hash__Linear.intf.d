@@ -1,0 +1,1 @@
+lib/hash/linear.mli: Field Ids_graph

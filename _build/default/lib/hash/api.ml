@@ -1,0 +1,40 @@
+module Graph = Ids_graph.Graph
+
+type 'a spec = { points : 'a array; coeffs : 'a array; shift : 'a }
+
+let default_copies = 3
+
+let random_spec f ~k rng =
+  if k < 1 then invalid_arg "Api.random_spec: need k >= 1";
+  { points = Array.init k (fun _ -> f.Field.random rng);
+    coeffs = Array.init k (fun _ -> f.Field.random rng);
+    shift = f.Field.random rng
+  }
+
+let spec_bits f ~k = ((2 * k) + 1) * f.Field.bits
+
+let row_term f spec ~n ~row s = Array.map (fun a -> Linear.row_hash f a ~n ~row s) spec.points
+
+let combine f x y =
+  if Array.length x <> Array.length y then invalid_arg "Api.combine: arity mismatch";
+  Array.mapi (fun i xi -> f.Field.add xi y.(i)) x
+
+let zero_term f ~k = Array.make k f.Field.zero
+
+let finalize f spec z =
+  if Array.length z <> Array.length spec.coeffs then invalid_arg "Api.finalize: arity mismatch";
+  let acc = ref spec.shift in
+  Array.iteri (fun i zi -> acc := f.Field.add !acc (f.Field.mul spec.coeffs.(i) zi)) z;
+  !acc
+
+let hash_graph f spec g =
+  let n = Graph.n g in
+  let z = ref (zero_term f ~k:(Array.length spec.points)) in
+  for v = 0 to n - 1 do
+    z := combine f !z (row_term f spec ~n ~row:v (Graph.closed_neighborhood g v))
+  done;
+  finalize f spec !z
+
+let epsilon _f ~n ~k ~q =
+  let m = float_of_int ((n * n) + n) in
+  q *. ((m /. q) ** float_of_int k)

@@ -1,0 +1,64 @@
+(** Distributed almost pairwise-independent hashing (Section 4).
+
+    The Goldwasser–Sipser protocol needs a hash from n x n adjacency matrices
+    into a range [\[q\]] with [q = Theta(n!)] such that for [x1 <> x2] and any
+    targets [y1, y2]:
+
+    + [Pr(h x1 = y1)  =  1 / q]                     (uniform marginals), and
+    + [Pr(h x1 = y1 /\ h x2 = y2) <= (1 + eps) / q^2]   (eps-API).
+
+    An exactly pairwise-independent family needs a seed as long as the input
+    (Theta(n^2) field elements), which no node can afford; the conference
+    paper relaxes to eps-API and defers its construction to the full version.
+    We build a standard substitute with the same interface, cost and
+    guarantees (documented in DESIGN.md):
+
+    - an {b inner layer} of [k] independent copies of the Theorem 3.2 linear
+      matrix hash, [z_i = h_{a_i}(x)], giving a vector [z in [q]^k]. Distinct
+      matrices make all [k] coordinates collide with probability at most
+      [((n^2 + n) / q)^k] (independent Schwartz–Zippel events). Each copy is
+      a sum of per-row terms, so it aggregates up a spanning tree by field
+      addition and every node can evaluate its own row's term locally;
+    - an {b outer layer} [y = b + sum_i c_i z_i mod q] with uniform
+      [(c_1..c_k, b)], which is exactly pairwise independent on distinct
+      inner vectors and makes the marginal exactly uniform.
+
+    The composition satisfies (1) exactly and (2) with
+    [eps = q * ((n^2 + n) / q)^k]; with [q ~ 4 n!] and [k = 3] this is
+    far below 1 for every [n >= 6], which is what the acceptance-gap
+    calculation of the GNI protocol needs (see {!Ids_proof.Gni}). *)
+
+type 'a spec = {
+  points : 'a array;  (** Inner evaluation points [a_1 .. a_k]. *)
+  coeffs : 'a array;  (** Outer coefficients [c_1 .. c_k]. *)
+  shift : 'a;  (** Outer additive term [b]. *)
+}
+
+val default_copies : int
+(** The [k] used by the GNI protocol (3). *)
+
+val random_spec : 'a Field.t -> k:int -> Ids_bignum.Rng.t -> 'a spec
+
+val spec_bits : 'a Field.t -> k:int -> int
+(** Bits to transmit a spec: [(2k + 1)] field elements. *)
+
+val row_term : 'a Field.t -> 'a spec -> n:int -> row:int -> Ids_graph.Bitset.t -> 'a array
+(** The inner-layer contribution of one matrix row: the vector
+    [(h_{a_i}(\[row, s\]))_i]. This is what a single network node computes
+    locally for the row it owns. *)
+
+val combine : 'a Field.t -> 'a array -> 'a array -> 'a array
+(** Pointwise field addition: the spanning-tree aggregation step. *)
+
+val zero_term : 'a Field.t -> k:int -> 'a array
+
+val finalize : 'a Field.t -> 'a spec -> 'a array -> 'a
+(** Apply the outer layer to a fully aggregated inner vector. *)
+
+val hash_graph : 'a Field.t -> 'a spec -> Ids_graph.Graph.t -> 'a
+(** Ground truth: the hash of a graph's full adjacency matrix (closed
+    neighborhoods), computed centrally. Provers use this to search for
+    preimages; tests use it to validate the distributed aggregation. *)
+
+val epsilon : 'a Field.t -> n:int -> k:int -> q:float -> float
+(** The analytical [eps] bound [q ((n^2+n)/q)^k] for the given parameters. *)

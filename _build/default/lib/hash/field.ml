@@ -1,0 +1,69 @@
+module Nat = Ids_bignum.Nat
+module Rng = Ids_bignum.Rng
+
+type 'a t = {
+  bits : int;
+  size : 'a;
+  zero : 'a;
+  one : 'a;
+  add : 'a -> 'a -> 'a;
+  sub : 'a -> 'a -> 'a;
+  mul : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+  of_int : int -> 'a;
+  pow_int : 'a -> int -> 'a;
+  random : Rng.t -> 'a;
+  to_string : 'a -> string;
+}
+
+let int_field p =
+  if p < 2 || p >= 1 lsl 31 then invalid_arg "Field.int_field: modulus out of native-safe range";
+  let pow_int a e =
+    let rec go acc base e =
+      if e = 0 then acc
+      else begin
+        let acc = if e land 1 = 1 then acc * base mod p else acc in
+        go acc (base * base mod p) (e lsr 1)
+      end
+    in
+    if e < 0 then invalid_arg "pow_int: negative exponent" else go 1 (a mod p) e
+  in
+  let bits = max 1 (Nat.bit_length (Nat.of_int (p - 1))) in
+  let random rng =
+    (* Uniform in [0, p) via rejection on the covering power of two. *)
+    let k = bits in
+    let rec draw () =
+      let v = Rng.bits rng k in
+      if v < p then v else draw ()
+    in
+    draw ()
+  in
+  { bits;
+    size = p;
+    zero = 0;
+    one = 1;
+    add = (fun a b -> (a + b) mod p);
+    sub = (fun a b -> ((a - b) mod p + p) mod p);
+    mul = (fun a b -> a * b mod p);
+    equal = Int.equal;
+    of_int = (fun k -> (k mod p + p) mod p);
+    pow_int;
+    random;
+    to_string = string_of_int
+  }
+
+let nat_field p =
+  if Nat.compare p Nat.two < 0 then invalid_arg "Field.nat_field: modulus too small";
+  { bits = max 1 (Nat.bit_length (Nat.sub p Nat.one));
+    size = p;
+    zero = Nat.zero;
+    one = Nat.one;
+    add = (fun a b -> Ids_bignum.Modarith.add a b p);
+    sub = (fun a b -> Ids_bignum.Modarith.sub a b p);
+    mul = (fun a b -> Ids_bignum.Modarith.mul a b p);
+    equal = Nat.equal;
+    of_int = (fun k -> Nat.rem (Nat.of_int k) p);
+    pow_int = (fun a e -> Ids_bignum.Modarith.pow_int a e p);
+    random = (fun rng -> Nat.random_below rng p);
+    to_string = Nat.to_string
+  }

@@ -1,0 +1,1 @@
+lib/lowerbound/dist.ml: Float Hashtbl List Option Stdlib

@@ -1,0 +1,1 @@
+lib/lowerbound/packing.ml: Float Ids_bignum List

@@ -1,0 +1,1 @@
+lib/lowerbound/toy_protocol.ml: Array Dist Fun Ids_graph List

@@ -1,0 +1,1 @@
+lib/lowerbound/toy_protocol.mli: Dist Ids_graph

@@ -1,0 +1,36 @@
+type 'a t = ('a * float) list (* sorted support, strictly positive weights *)
+
+let normalize pairs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (x, w) ->
+      let cur = Option.value (Hashtbl.find_opt tbl x) ~default:0. in
+      Hashtbl.replace tbl x (cur +. w))
+    pairs;
+  Hashtbl.fold (fun x w acc -> if w > 0. then (x, w) :: acc else acc) tbl []
+  |> List.sort Stdlib.compare
+
+let of_samples xs =
+  if xs = [] then invalid_arg "Dist.of_samples: empty";
+  let w = 1. /. float_of_int (List.length xs) in
+  normalize (List.map (fun x -> (x, w)) xs)
+
+let of_assoc pairs =
+  if List.exists (fun (_, w) -> w < 0.) pairs then invalid_arg "Dist.of_assoc: negative weight";
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  if Float.abs (total -. 1.) > 1e-9 then invalid_arg "Dist.of_assoc: weights must sum to 1";
+  normalize pairs
+
+let support t = List.map fst t
+
+let prob t x = match List.assoc_opt x t with Some w -> w | None -> 0.
+
+let l1_distance a b =
+  let keys = List.sort_uniq Stdlib.compare (support a @ support b) in
+  List.fold_left (fun acc x -> acc +. Float.abs (prob a x -. prob b x)) 0. keys
+
+let total_variation a b = l1_distance a b /. 2.
+
+let event_gap_lower_bound a b q =
+  let mass t = List.fold_left (fun acc (x, w) -> if q x then acc +. w else acc) 0. t in
+  2. *. Float.abs (mass a -. mass b)

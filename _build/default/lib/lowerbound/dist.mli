@@ -1,0 +1,30 @@
+(** Finite distributions and L1 distance.
+
+    Section 3.4 associates with every side-graph [F] a distribution
+    [mu_A(F)] over {e sets} of prover responses; correctness forces these
+    distributions to be pairwise far apart in L1 (Lemma 3.11), and L1-far
+    distributions cannot be packed densely (Lemma 3.12). Supports are
+    arbitrary comparable values, so a support point can itself be a set of
+    responses. *)
+
+type 'a t
+(** A probability distribution with finite support. *)
+
+val of_samples : 'a list -> 'a t
+(** Empirical distribution of a non-empty sample list. *)
+
+val of_assoc : ('a * float) list -> 'a t
+(** @raise Invalid_argument if weights are negative or do not sum to ~1. *)
+
+val support : 'a t -> 'a list
+val prob : 'a t -> 'a -> float
+
+val l1_distance : 'a t -> 'a t -> float
+(** [sum_x |mu(x) - eta(x)|] over the union of supports. Between 0 and 2. *)
+
+val total_variation : 'a t -> 'a t -> float
+(** Half the L1 distance. *)
+
+val event_gap_lower_bound : 'a t -> 'a t -> ('a -> bool) -> float
+(** [2 |mu(Q) - eta(Q)|] for the event [Q] — the lower bound on L1 used in
+    the proof of Lemma 3.11. *)

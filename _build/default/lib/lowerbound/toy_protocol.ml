@@ -1,0 +1,106 @@
+module Graph = Ids_graph.Graph
+module Family = Ids_graph.Family
+module Iso = Ids_graph.Iso
+
+type t = { family : Graph.t array; side : int; length : int }
+
+let make family ~length =
+  if Array.length family = 0 then invalid_arg "Toy_protocol.make: empty family";
+  let side = Graph.n family.(0) in
+  Array.iter
+    (fun f ->
+      if Graph.n f <> side then invalid_arg "Toy_protocol.make: side size mismatch";
+      if not (Graph.is_connected f) then invalid_arg "Toy_protocol.make: sides must be connected")
+    family;
+  if length < 1 || length > 20 then invalid_arg "Toy_protocol.make: length out of enumerable range";
+  { family; side; length }
+
+let fingerprint t i = i land ((1 lsl t.length) - 1)
+
+(* Does message [m], decoded as a family index, describe side [F_i] exactly?
+   Each side node checks only its own row of the decoded graph, but the
+   conjunction over the (connected) side checks the whole graph, which is
+   what the exists-an-extension definition of M_A evaluates to here: the
+   neighbor-equality checks force any accepting extension to be constant. *)
+let side_matches t i m =
+  let candidates =
+    (* All family members whose truncated index is m. *)
+    List.filter (fun j -> fingerprint t j = m) (List.init (Array.length t.family) Fun.id)
+  in
+  List.exists (fun j -> Graph.equal t.family.(j) t.family.(i)) candidates
+
+let enumerate_messages t pred = List.filter pred (List.init (1 lsl t.length) Fun.id)
+
+let m_a t i = enumerate_messages t (side_matches t i)
+let m_b = m_a
+
+let mu_a t i =
+  (* The response set is the same for every challenge; sampling challenges
+     through the general definition still produces the point mass. *)
+  Dist.of_samples (List.init 8 (fun _ -> m_a t i))
+
+let pairwise_l1 t =
+  let k = Array.length t.family in
+  Array.init k (fun i -> Array.init k (fun j -> Dist.l1_distance (mu_a t i) (mu_a t j)))
+
+let acceptance t i j =
+  let inter = List.filter (fun m -> List.mem m (m_b t j)) (m_a t i) in
+  if inter <> [] then 1. else 0.
+
+let correct t =
+  let k = Array.length t.family in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      let acc = acceptance t i j in
+      if i = j && acc <= 2. /. 3. then ok := false;
+      if i <> j && acc >= 1. /. 3. then ok := false
+    done
+  done;
+  !ok
+
+let colliding_pair t =
+  let k = Array.length t.family in
+  let found = ref None in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if !found = None && fingerprint t i = fingerprint t j then found := Some (i, j)
+    done
+  done;
+  !found
+
+let min_correct_length family =
+  let k = Array.length family in
+  let rec go l = if 1 lsl l >= k then l else go (l + 1) in
+  max 1 (go 1)
+
+(* --- Lemma 3.7 -------------------------------------------------------------- *)
+
+let simple_length t = 4 * t.length
+
+(* In the fingerprint protocol the prover's honest response is the same
+   fingerprint at every node, so the concatenated (v_A, x_A, x_B, v_B)
+   response is four copies of it. *)
+let simple_bridge_response t i =
+  let m = fingerprint t i in
+  let l = t.length in
+  (((((m lsl l) lor m) lsl l) lor m) lsl l) lor m
+
+let simple_accepts t i j =
+  (* Transformed protocol on G(F_i, F_j): the bridge nodes receive the
+     combined response and check (a) they both received the same value and
+     (b) the extracted per-node parts pass the original decision functions.
+     With the best prover, acceptance is possible iff some fingerprint
+     matches both sides. *)
+  let candidates = List.init (1 lsl t.length) Fun.id in
+  List.exists (fun m -> side_matches t i m && side_matches t j m) candidates
+
+let simple_agrees t =
+  let k = Array.length t.family in
+  let ok = ref true in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if simple_accepts t i j <> (acceptance t i j = 1.) then ok := false
+    done
+  done;
+  !ok

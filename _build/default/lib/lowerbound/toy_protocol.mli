@@ -1,0 +1,90 @@
+(** An executable rendering of the Section 3.4 framework on toy instances.
+
+    Theorem 1.4's proof manipulates three objects, all of which this module
+    computes exactly for small parameters:
+
+    - the response sets [M_A(F, r)]: messages to bridge node [x_A] that
+      extend to responses making the whole A side accept (and symmetrically
+      [M_B]);
+    - the distributions [mu_A(F)] of [M_A(F, r)] over the challenge, and
+      their pairwise L1 distances (Lemma 3.11 says a correct protocol keeps
+      them >= 2/3 apart);
+    - Lemma 3.9's identity: the best prover's acceptance probability on
+      [G(F_A, F_B)] equals [Pr_r(M_A(F_A,r) cap M_B(F_B,r) <> {})].
+
+    The concrete protocol is the {e fingerprint protocol} [Pi_L] over a
+    fixed family [F] of connected asymmetric side graphs: the prover
+    unicasts to every node an [L]-bit fingerprint [m] (honestly, the index
+    of the side graph in [F], truncated to [L] bits); every side node checks
+    that its own row in the dumbbell of [family\[m\]] matches its actual
+    neighborhood and that its neighbors received the same [m]; bridge nodes
+    check only the equality of their responses — so [Pi_L] is already a
+    simple protocol in the sense of Definition 6. [Pi_L] decides Sym on the
+    dumbbell family iff [L]-bit fingerprints separate the family, which
+    makes the packing phenomenon visible: below [log2 |F|] bits there {e
+    must} be a colliding pair, the two distributions coincide, and a
+    cheating prover breaks soundness on the mixed dumbbell — exactly the
+    argument of Theorem 1.4. *)
+
+type t = private {
+  family : Ids_graph.Graph.t array;  (** connected asymmetric side graphs *)
+  side : int;  (** vertices per side *)
+  length : int;  (** response length [L] in bits *)
+}
+
+val make : Ids_graph.Graph.t array -> length:int -> t
+(** @raise Invalid_argument if the family is empty, sides differ in size,
+    or [length] exceeds 20 bits (response sets are enumerated). *)
+
+val fingerprint : t -> int -> int
+(** [fingerprint t i]: the honest [L]-bit fingerprint of family member [i]
+    (its index truncated to [L] bits). *)
+
+val m_a : t -> int -> int list
+(** [m_a t i]: the response set [M_A(family(i), r)] by exhaustive
+    enumeration over messages [m in \[2^L\]] (extensions to the connected A
+    side are forced to be constant by the neighbor-equality checks, so the
+    enumeration is exact). For the fingerprint protocol the set is
+    challenge-independent; the challenge argument is therefore omitted. *)
+
+val m_b : t -> int -> int list
+
+val mu_a : t -> int -> int list Dist.t
+(** The distribution of [M_A(F, r)] over the challenge (a point mass here,
+    computed through the same code path as the general definition). *)
+
+val pairwise_l1 : t -> float array array
+(** [pairwise_l1 t] gives [||mu_A(F_i) - mu_A(F_j)||_1] for all pairs. *)
+
+val acceptance : t -> int -> int -> float
+(** Lemma 3.9's right-hand side for the dumbbell [G(F_i, F_j)]:
+    [Pr_r(M_A(F_i, r) cap M_B(F_j, r) <> {})] — the optimal prover's
+    acceptance probability. *)
+
+val correct : t -> bool
+(** Definition 2 for the dumbbell family: acceptance > 2/3 on every
+    [G(F,F)] and < 1/3 on every [G(F_i, F_j)], [i <> j]. For this
+    (deterministic) protocol that means acceptance 1 and 0 respectively. *)
+
+val colliding_pair : t -> (int * int) option
+(** A pair of distinct family members with equal fingerprints — the
+    pigeonhole witness that exists whenever [2^L < |F|]. *)
+
+val min_correct_length : Ids_graph.Graph.t array -> int
+(** The smallest [L] making the fingerprint protocol correct for the given
+    family ([ceil log2 |F|] — compare with {!Packing.min_protocol_length},
+    the information-theoretic floor any protocol must obey). *)
+
+(** {1 Lemma 3.7: the simple-protocol transformation} *)
+
+val simple_length : t -> int
+(** The length of the transformed protocol: [4 L]. *)
+
+val simple_bridge_response : t -> int -> int
+(** The combined 4L-bit response Lemma 3.7's prover gives both bridge nodes
+    on [G(F, F)]: the concatenation of the responses to
+    [v_A, x_A, x_B, v_B]. *)
+
+val simple_agrees : t -> bool
+(** Checks Lemma 3.7's conclusion on the whole family: the transformed
+    protocol accepts [G(F_i, F_j)] iff the original does. *)

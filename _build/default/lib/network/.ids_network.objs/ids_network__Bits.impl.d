@@ -1,0 +1,1 @@
+lib/network/bits.ml: Ids_bignum

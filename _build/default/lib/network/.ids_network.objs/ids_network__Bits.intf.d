@@ -1,0 +1,1 @@
+lib/network/bits.mli: Ids_bignum

@@ -1,0 +1,1 @@
+lib/network/cost.ml: Array Format

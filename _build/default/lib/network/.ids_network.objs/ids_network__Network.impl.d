@@ -1,0 +1,1 @@
+lib/network/network.ml: Array Cost Ids_bignum Ids_graph

@@ -1,0 +1,1 @@
+lib/network/network.mli: Cost Ids_bignum Ids_graph

@@ -1,0 +1,14 @@
+let ceil_log2 k =
+  if k <= 0 then invalid_arg "Bits.ceil_log2: non-positive";
+  let rec go b = if 1 lsl b >= k then b else go (b + 1) in
+  go 0
+
+let id n = max 1 (ceil_log2 n)
+
+let index size = max 1 (ceil_log2 size)
+
+let field p = max 1 (Ids_bignum.Nat.bit_length (Ids_bignum.Nat.sub p Ids_bignum.Nat.one))
+
+let field_int p = field (Ids_bignum.Nat.of_int p)
+
+let perm n = n * id n

@@ -1,0 +1,28 @@
+(** Bit-size accounting helpers.
+
+    The paper's complexity measure is the number of bits exchanged between an
+    individual node and the prover (random challenge bits included, for upper
+    bounds). These helpers give the exact per-value bit costs that the
+    protocols charge to the ledger. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 k] is the least [b] with [2^b >= k]; [ceil_log2 1 = 0].
+    @raise Invalid_argument if [k <= 0]. *)
+
+val id : int -> int
+(** Bits needed to name one vertex out of [n]: [ceil_log2 n], at least 1. *)
+
+val index : int -> int
+(** Bits to send an index into a set of the given size (e.g. a hash-family
+    index in [\[|H|\]]): [ceil_log2 size], at least 1. *)
+
+val field : Ids_bignum.Nat.t -> int
+(** Bits to send one element of a prime field given its modulus [p]:
+    [bit_length (p - 1)]. *)
+
+val field_int : int -> int
+(** Native-integer variant of {!field}. *)
+
+val perm : int -> int
+(** Bits to send a full permutation of [n] elements as an image table:
+    [n * id n]. *)

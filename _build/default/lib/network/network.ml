@@ -1,0 +1,48 @@
+module Graph = Ids_graph.Graph
+module Bitset = Ids_graph.Bitset
+module Rng = Ids_bignum.Rng
+
+type t = { graph : Graph.t; cost : Cost.t; rng : Rng.t }
+
+let create ~seed graph = { graph; cost = Cost.create (Graph.n graph); rng = Rng.create seed }
+
+let graph t = t.graph
+let n t = Graph.n t.graph
+let cost t = t.cost
+let rng t = t.rng
+
+let challenge t ~bits gen =
+  Cost.charge_all_to_prover t.cost bits;
+  (* Each node owns an independent generator split off the execution seed. *)
+  Array.init (n t) (fun _ -> gen (Rng.split t.rng))
+
+let check_length t a = if Array.length a <> n t then invalid_arg "Network: response length mismatch"
+
+let unicast t ~bits responses =
+  check_length t responses;
+  Cost.charge_all_from_prover t.cost bits;
+  responses
+
+let unicast_varbits t ~bits responses =
+  check_length t responses;
+  Array.iteri (fun v _ -> Cost.charge_from_prover t.cost v (bits v)) responses;
+  responses
+
+let broadcast t ~bits responses =
+  check_length t responses;
+  Cost.charge_all_from_prover t.cost bits;
+  responses
+
+let broadcast_uniform t ~bits value = broadcast t ~bits (Array.make (n t) value)
+
+let broadcast_consistent_at t values v =
+  let ok = ref true in
+  Bitset.iter (fun u -> if values.(u) <> values.(v) then ok := false) (Graph.neighbors t.graph v);
+  !ok
+
+let decide t out =
+  let accepted = ref true in
+  for v = 0 to n t - 1 do
+    if not (out v) then accepted := false
+  done;
+  !accepted

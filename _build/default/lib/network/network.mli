@@ -1,0 +1,55 @@
+(** Execution context for interactive distributed proofs.
+
+    A protocol execution alternates Arthur rounds (every node independently
+    draws a random challenge and sends it to the prover) and Merlin rounds
+    (the prover answers each node, by unicast or broadcast). This module
+    simulates those exchanges over a network graph while charging every bit
+    to the {!Cost} ledger, and implements the model's two response
+    disciplines from Section 2.2 of the paper:
+
+    - {b unicast}: the prover may give a different value to each node;
+    - {b broadcast}: the prover must give all nodes the same value, enforced
+      distributively — each node compares its copy with its neighbors' copies
+      and rejects on mismatch (on a connected graph, any non-constant
+      assignment is caught by some edge).
+
+    The prover is just caller code: honest provers compute what the protocol
+    prescribes, adversarial provers may supply arbitrary arrays. *)
+
+type t
+
+val create : seed:int -> Ids_graph.Graph.t -> t
+(** Fresh execution over the given network graph. The seed determines all of
+    Arthur's randomness. *)
+
+val graph : t -> Ids_graph.Graph.t
+val n : t -> int
+val cost : t -> Cost.t
+val rng : t -> Ids_bignum.Rng.t
+
+val challenge : t -> bits:int -> (Ids_bignum.Rng.t -> 'c) -> 'c array
+(** Arthur round: every node draws an independent challenge with the given
+    generator and is charged [bits] towards the prover. *)
+
+val unicast : t -> bits:int -> 'r array -> 'r array
+(** Merlin unicast round: the prover supplies one value per node; every node
+    is charged [bits] received. @raise Invalid_argument on length mismatch. *)
+
+val unicast_varbits : t -> bits:(int -> int) -> 'r array -> 'r array
+(** Like {!unicast} with a per-node bit cost. *)
+
+val broadcast : t -> bits:int -> 'r array -> 'r array
+(** Merlin broadcast round: like {!unicast}, but the values are expected to
+    be all equal; use {!broadcast_consistent_at} in the verification phase to
+    apply the paper's neighbor-comparison check. *)
+
+val broadcast_uniform : t -> bits:int -> 'r -> 'r array
+(** Honest broadcast: replicate one value to all nodes and charge it. *)
+
+val broadcast_consistent_at : t -> 'r array -> int -> bool
+(** [broadcast_consistent_at t values v] is the local broadcast check at
+    node [v]: its copy equals every neighbor's copy (polymorphic equality). *)
+
+val decide : t -> (int -> bool) -> bool
+(** [decide t out] runs the local decision [out v] at every node and accepts
+    iff all nodes accept (the paper's global acceptance rule). *)

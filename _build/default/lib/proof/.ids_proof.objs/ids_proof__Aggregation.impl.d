@@ -1,0 +1,1 @@
+lib/proof/aggregation.ml: Array Fun Ids_graph Ids_hash List Stdlib

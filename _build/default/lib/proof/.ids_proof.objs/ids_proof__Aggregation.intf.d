@@ -1,0 +1,1 @@
+lib/proof/aggregation.mli: Ids_graph Ids_hash

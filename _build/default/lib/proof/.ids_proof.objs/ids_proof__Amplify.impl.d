@@ -1,0 +1,1 @@
+lib/proof/amplify.ml: Float Outcome Printf

@@ -1,0 +1,1 @@
+lib/proof/amplify.mli: Outcome

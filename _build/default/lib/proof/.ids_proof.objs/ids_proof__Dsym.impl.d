@@ -1,0 +1,1 @@
+lib/proof/dsym.ml: Aggregation Array Ids_bignum Ids_graph Ids_hash Ids_network Outcome

@@ -1,0 +1,1 @@
+lib/proof/dsym.mli: Ids_graph Ids_hash Outcome

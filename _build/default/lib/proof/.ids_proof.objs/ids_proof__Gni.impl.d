@@ -1,0 +1,1 @@
+lib/proof/gni.ml: Aggregation Array Fun Ids_bignum Ids_graph Ids_hash Ids_network Lazy List Outcome

@@ -1,0 +1,1 @@
+lib/proof/gni.mli: Ids_bignum Ids_graph Ids_hash Lazy Outcome

@@ -1,0 +1,1 @@
+lib/proof/gni_full.ml: Aggregation Array Fun Hashtbl Ids_bignum Ids_graph Ids_hash Ids_network Lazy List Outcome String

@@ -1,0 +1,1 @@
+lib/proof/gni_full.mli: Ids_bignum Ids_graph Ids_hash Lazy Outcome

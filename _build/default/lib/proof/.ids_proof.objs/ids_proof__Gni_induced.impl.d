@@ -1,0 +1,1 @@
+lib/proof/gni_induced.ml: Aggregation Array Format Fun Hashtbl Ids_bignum Ids_graph Ids_hash Ids_network Lazy List Outcome Printf Stdlib String

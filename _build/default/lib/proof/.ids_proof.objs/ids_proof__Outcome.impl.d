@@ -1,0 +1,1 @@
+lib/proof/outcome.ml: Format Ids_network

@@ -1,0 +1,1 @@
+lib/proof/outcome.mli: Format Ids_network

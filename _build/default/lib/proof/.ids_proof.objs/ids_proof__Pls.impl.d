@@ -1,0 +1,1 @@
+lib/proof/pls.ml: Aggregation Array Fun Ids_graph Ids_network List Option Queue String

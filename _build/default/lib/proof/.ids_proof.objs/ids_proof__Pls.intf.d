@@ -1,0 +1,1 @@
+lib/proof/pls.mli: Ids_graph

@@ -1,0 +1,1 @@
+lib/proof/rpls.ml: Array Ids_bignum Ids_graph Ids_hash Ids_network Pls String

@@ -1,0 +1,1 @@
+lib/proof/rpls.mli: Ids_graph Pls

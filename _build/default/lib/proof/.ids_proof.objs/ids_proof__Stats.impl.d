@@ -1,0 +1,1 @@
+lib/proof/stats.ml: Format Outcome

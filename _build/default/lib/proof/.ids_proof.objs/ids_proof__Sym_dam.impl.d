@@ -1,0 +1,1 @@
+lib/proof/sym_dam.ml: Aggregation Array Fun Hashtbl Ids_bignum Ids_graph Ids_hash Ids_network List Outcome

@@ -1,0 +1,1 @@
+lib/proof/sym_dam.mli: Ids_bignum Ids_graph Ids_hash Outcome

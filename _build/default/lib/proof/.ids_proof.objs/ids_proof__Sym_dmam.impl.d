@@ -1,0 +1,1 @@
+lib/proof/sym_dmam.ml: Aggregation Array Float Fun Hashtbl Ids_bignum Ids_graph Ids_hash Ids_network List Option Outcome

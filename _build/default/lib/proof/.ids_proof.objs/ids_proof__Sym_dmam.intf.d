@@ -1,0 +1,1 @@
+lib/proof/sym_dmam.mli: Ids_graph Ids_hash Outcome

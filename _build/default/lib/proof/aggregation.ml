@@ -1,0 +1,33 @@
+module Graph = Ids_graph.Graph
+module Bitset = Ids_graph.Bitset
+module Spanning_tree = Ids_graph.Spanning_tree
+
+let in_range n x = x >= 0 && x < n
+
+let tree_check g ~root ~parent ~dist v =
+  let n = Graph.n g in
+  in_range n parent.(v)
+  && in_range n dist.(v)
+  &&
+  if v = root then dist.(v) = 0 && parent.(v) = v
+  else Graph.has_edge g v parent.(v) && dist.(parent.(v)) = dist.(v) - 1
+
+let children g ~parent v =
+  Bitset.fold (fun u acc -> if parent.(u) = v && u <> v then u :: acc else acc) (Graph.neighbors g v) []
+
+let subtree_equation f ~own ~claimed ~children v =
+  let expected = List.fold_left (fun acc u -> f.Ids_hash.Field.add acc claimed.(u)) own children in
+  f.Ids_hash.Field.equal claimed.(v) expected
+
+let honest_sums f tree ~term =
+  let n = Array.length tree.Spanning_tree.parent in
+  let sums = Array.make n f.Ids_hash.Field.zero in
+  (* Accumulate leaves-first: order vertices by decreasing distance. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun u v -> Stdlib.compare tree.Spanning_tree.dist.(v) tree.Spanning_tree.dist.(u)) order;
+  Array.iter
+    (fun v ->
+      let children = Spanning_tree.children tree v in
+      sums.(v) <- List.fold_left (fun acc u -> f.Ids_hash.Field.add acc sums.(u)) (term v) children)
+    order;
+  sums

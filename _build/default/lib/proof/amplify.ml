@@ -1,0 +1,51 @@
+type t = { outcome : Outcome.t; accepts : int; trials : int }
+
+let repeat ~trials ~threshold run =
+  if trials <= 0 then invalid_arg "Amplify.repeat: need positive trials";
+  if threshold < 0 || threshold > trials then invalid_arg "Amplify.repeat: threshold out of range";
+  let accepts = ref 0 in
+  let max_bits = ref 0 and max_resp = ref 0 and total = ref 0 in
+  let name = ref "" in
+  for seed = 1 to trials do
+    let o = run seed in
+    if seed = 1 then name := o.Outcome.prover;
+    if o.Outcome.accepted then incr accepts;
+    max_bits := !max_bits + o.Outcome.max_bits_per_node;
+    max_resp := !max_resp + o.Outcome.max_response_bits;
+    total := !total + o.Outcome.total_bits
+  done;
+  { outcome =
+      { Outcome.accepted = !accepts >= threshold;
+        max_bits_per_node = !max_bits;
+        max_response_bits = !max_resp;
+        total_bits = !total;
+        prover = Printf.sprintf "%s (x%d)" !name trials
+      };
+    accepts = !accepts;
+    trials
+  }
+
+let majority ~trials run = repeat ~trials ~threshold:((trials / 2) + 1) run
+
+let error_bound ~single_rate ~trials ~threshold =
+  let tau = float_of_int threshold /. float_of_int trials in
+  let gap = Float.abs (single_rate -. tau) in
+  exp (-2. *. float_of_int trials *. gap *. gap)
+
+let trials_for ~yes_rate ~no_rate ~delta =
+  if yes_rate <= no_rate then invalid_arg "Amplify.trials_for: need yes_rate > no_rate";
+  if delta <= 0. || delta >= 1. then invalid_arg "Amplify.trials_for: delta in (0,1)";
+  let tau = (yes_rate +. no_rate) /. 2. in
+  let gap = (yes_rate -. no_rate) /. 2. in
+  let t0 = max 1 (int_of_float (ceil (log (1. /. delta) /. (2. *. gap *. gap)))) in
+  (* Rounding the threshold up erodes the YES-side gap; grow t until both
+     Hoeffding bounds actually meet delta. *)
+  let rec adjust t =
+    let threshold = int_of_float (ceil (tau *. float_of_int t)) in
+    if
+      error_bound ~single_rate:yes_rate ~trials:t ~threshold <= delta
+      && error_bound ~single_rate:no_rate ~trials:t ~threshold <= delta
+    then (t, threshold)
+    else adjust (t + 1)
+  in
+  adjust t0

@@ -1,0 +1,39 @@
+(** Error amplification by independent repetition.
+
+    Definition 2 fixes the thresholds at 2/3 and 1/3, but applications
+    usually want error [delta] for tiny [delta]. Running a protocol [t]
+    times with independent coins and accepting iff at least [tau t] runs
+    accept drives both errors down exponentially (Chernoff), at [t] times
+    the communication.
+
+    Repetitions here are sequential-independent executions of the full
+    protocol (each with fresh Arthur coins and a fresh prover interaction);
+    for the simulated provers in this repository each repetition is an
+    independent Bernoulli trial, so the Chernoff accounting below is exact.
+    (General parallel repetition of multi-prover or shared-state interactive
+    proofs is subtler; nothing here relies on it.) *)
+
+type t = {
+  outcome : Outcome.t;  (** Aggregated verdict and summed costs. *)
+  accepts : int;
+  trials : int;
+}
+
+val repeat : trials:int -> threshold:int -> (int -> Outcome.t) -> t
+(** [repeat ~trials ~threshold run] executes [run seed] for
+    [seed = 1 .. trials] and accepts iff at least [threshold] runs accept.
+    Costs are summed; the prover name is taken from the first run. *)
+
+val majority : trials:int -> (int -> Outcome.t) -> t
+(** [repeat] with [threshold = trials/2 + 1] — the right choice when the
+    single-run gap straddles 1/2 (e.g. 2/3 vs 1/3). *)
+
+val error_bound : single_rate:float -> trials:int -> threshold:int -> float
+(** Hoeffding bound on the probability that [t] Bernoulli([single_rate])
+    trials land on the wrong side of [threshold]:
+    [exp (-2 t (|rate - threshold/t|)^2)]. Valid for either direction. *)
+
+val trials_for : yes_rate:float -> no_rate:float -> delta:float -> int * int
+(** [(t, tau)] sufficient to distinguish acceptance rates [yes_rate] >
+    [no_rate] with both errors at most [delta], by the Hoeffding bound.
+    @raise Invalid_argument if [yes_rate <= no_rate]. *)

@@ -1,0 +1,52 @@
+(** The [dAM\[O(log n)\]] protocol for Dumbbell Symmetry (Section 3.3,
+    Theorems 1.2 / 3.6) — one half of the exponential separation between
+    distributed NP and distributed AM.
+
+    DSym (Definition 5) fixes the candidate automorphism [sigma] in advance
+    (the mirror map of a dumbbell with a connecting path), so the Merlin
+    commitment round of Protocol 1 can be dropped: what remains is a genuine
+    one-round Arthur–Merlin protocol whose every message is [O(log n)] bits,
+    while any locally checkable proof for DSym needs [Omega(n^2)] bits
+    (Göös–Suomela, reproduced here by the {!Pls.Lcp_sym} baseline).
+
+    The three membership conditions split as:
+    + [sigma] is an automorphism — checked with the Protocol 1 hash
+      machinery (both hash rows are computable locally because [sigma] is a
+      fixed public formula);
+    + the connecting path is present — checked locally by the path nodes;
+    + no stray edges — checked locally by every node.
+
+    Instances are parameterized by [(n, r)]: side size and half path length;
+    all nodes know these (they are part of the language definition). *)
+
+type instance = { n : int; r : int; graph : Ids_graph.Graph.t }
+
+val make_instance : n:int -> r:int -> Ids_graph.Graph.t -> instance
+(** @raise Invalid_argument if the vertex count is not [2n + 2r + 1]. *)
+
+type params = { p : int; field : int Ids_hash.Field.t }
+
+val params_for : seed:int -> instance -> params
+
+type response = {
+  index : int array;  (** broadcast *)
+  root : int array;  (** broadcast *)
+  parent : int array;  (** unicast *)
+  dist : int array;  (** unicast *)
+  a : int array;  (** unicast *)
+  b : int array;  (** unicast *)
+}
+
+type prover = { name : string; respond : params -> instance -> int array -> response }
+
+val honest : prover
+
+val run : ?params:params -> seed:int -> instance -> prover -> Outcome.t
+
+val adversary_consistent : prover
+(** Plays the honest strategy's moves even on NO instances (true subtree
+    sums for both matrices); it wins exactly when the fixed [sigma] fails to
+    be an automorphism yet the hash collides — probability at most
+    [(N^2+N)/p] by Theorem 3.2. This is the optimal adversary against
+    structurally valid NO instances, because every other check is
+    deterministic. *)

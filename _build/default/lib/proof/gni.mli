@@ -1,0 +1,112 @@
+(** The [dAMAM\[O(n log n)\]] protocol for Graph Non-Isomorphism (Section 4,
+    Theorem 1.5): a distributed version of the Goldwasser–Sipser set-size
+    estimation protocol.
+
+    {2 Setting}
+
+    The network graph is [G_0]; every node [v] additionally receives its row
+    of a second graph [G_1] as input (Definition 4). Following the paper we
+    restrict to {e asymmetric} [G_0, G_1] (the unrestricted case composes
+    with the Symmetry protocol of Section 3.2), so the set
+
+    {v S = { sigma(G_b) : sigma a permutation, b in {0,1} } v}
+
+    has size exactly [2 n!] when [(G_0, G_1) in GNI] and [n!] otherwise.
+
+    {2 One repetition (the A-M-A-M pattern)}
+
+    + {b Arthur} — every node draws a candidate hash spec for the
+      {!Ids_hash.Api} family (inner evaluation points, outer coefficients)
+      and a candidate target [y in [q]]; the tree root's will bind.
+    + {b Merlin} — commits: broadcasts the root [r], an echo of [r]'s spec
+      and target (each node checks the echo against its own draw when it is
+      the root), the bit [b], the full permutation [sigma] and the
+      spanning-tree labels — claiming [h(A_{sigma(G_b)}) = y]. When no
+      preimage exists the honest prover signals a miss.
+    + {b Arthur} — every node draws a fresh {e audit} point for a second,
+      post-commitment linear hash of the committed matrix.
+    + {b Merlin} — reveals the subtree aggregates of the inner hash vector
+      and of the audit hash, up the spanning tree.
+
+    Each node recomputes its own row's contribution — row [sigma(v)] of
+    [A_{sigma(G_b)}] with content [sigma(N_b(v))], all computable locally
+    from the broadcast [sigma] — checks the aggregation equations, and the
+    root checks that the outer layer of the aggregate equals [y]. Every
+    message is [O(n log n)] bits ([q = Theta(n!)], so one field element is
+    [Theta(n log n)] bits; [sigma] is [n log n] bits).
+
+    The conference paper does not spell out which values travel in which of
+    the four rounds; DESIGN.md documents the substitution above. The audit
+    round preserves the paper's A-M-A-M pattern and adds a post-commitment
+    consistency hash; soundness rests on the deterministic aggregate checks
+    plus the root's target equation, exactly as in the GS analysis.
+
+    {2 Amplification}
+
+    With [q] a prime in [\[4 n!, 8 n!\]] and the {!Ids_hash.Api} parameters,
+    one repetition accepts with probability at least
+    [(2 n!/q)(1 - (1+eps)/4)] on YES instances and at most [n!/q] on NO
+    instances. The full protocol runs [t] independent repetitions and each
+    node accepts iff at least [tau t] of them looked valid locally; the
+    root's count is the sound one (only it verifies the target equation).
+    The default [t] puts both error probabilities below 1/3 (Definition 2). *)
+
+type instance = private {
+  g0 : Ids_graph.Graph.t;
+  g1 : Ids_graph.Graph.t;
+  n : int;
+  candidates : (int array * int * (int * Ids_graph.Bitset.t) array) array Lazy.t;
+      (** All [(sigma, b, rows of A_{sigma(G_b)})], precomputed for the
+          unbounded prover's preimage searches. *)
+}
+
+val make_instance : Ids_graph.Graph.t -> Ids_graph.Graph.t -> instance
+(** @raise Invalid_argument if the sizes differ, [g0] is disconnected,
+    either graph is symmetric (the paper's restriction), or [n > 8] (the
+    exhaustive prover scans [2 n!] permutations). *)
+
+val yes_instance : Ids_bignum.Rng.t -> int -> instance
+(** A random non-isomorphic pair of asymmetric graphs ([(G_0,G_1) in GNI]). *)
+
+val no_instance : Ids_bignum.Rng.t -> int -> instance
+(** [G_1] is a random relabeling of [G_0] ([(G_0,G_1) not in GNI]). *)
+
+type params = {
+  q : int;  (** hash range: a prime in [\[4 n!, 8 n!\]] *)
+  field : int Ids_hash.Field.t;
+  copies : int;  (** inner copies [k] of the API hash *)
+  repetitions : int;
+  threshold : int;  (** per-node acceptance count *)
+  factorial : int;  (** [n!] *)
+  yes_bound : float;  (** analytical single-repetition YES lower bound *)
+  no_bound : float;  (** analytical single-repetition NO upper bound *)
+}
+
+val params_for : ?repetitions:int -> seed:int -> instance -> params
+
+val yes_rate_bound : params -> float
+(** The analytical lower bound on the single-repetition acceptance
+    probability for YES instances. *)
+
+val no_rate_bound : params -> float
+(** The analytical upper bound for NO instances ([n!/q]). *)
+
+type prover
+
+val prover_name : prover -> string
+
+val honest : prover
+
+val adversary_forge_aggregates : prover
+(** On repetitions with no genuine preimage, claims one anyway and forges
+    the root's aggregate so the target equation passes; the root's own
+    aggregation check then fails, so the forged repetitions never count. *)
+
+val run_single : ?params:params -> seed:int -> instance -> prover -> Outcome.t
+(** One repetition; [accepted] means all nodes found it locally valid (a
+    "hit"). Used to measure the single-repetition acceptance rates that the
+    GS analysis predicts. *)
+
+val run : ?params:params -> seed:int -> instance -> prover -> Outcome.t
+(** The full amplified protocol: [params.repetitions] repetitions, per-node
+    counting, global accept iff every node's count reaches the threshold. *)

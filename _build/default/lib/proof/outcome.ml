@@ -1,0 +1,21 @@
+type t = {
+  accepted : bool;
+  max_bits_per_node : int;
+  max_response_bits : int;
+  total_bits : int;
+  prover : string;
+}
+
+let of_cost ~accepted ~prover cost =
+  { accepted;
+    max_bits_per_node = Ids_network.Cost.max_per_node cost;
+    max_response_bits = Ids_network.Cost.max_from_prover cost;
+    total_bits = Ids_network.Cost.total cost;
+    prover
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %s, %d bits/node (max), %d total"
+    t.prover
+    (if t.accepted then "ACCEPT" else "REJECT")
+    t.max_bits_per_node t.total_bits

@@ -1,0 +1,15 @@
+(** Result of one protocol execution. *)
+
+type t = {
+  accepted : bool;  (** Did all nodes accept? *)
+  max_bits_per_node : int;
+      (** The paper's length measure: the maximum over nodes of the bits that
+          node exchanged with the prover (challenges plus responses). *)
+  max_response_bits : int;  (** Response bits only (the lower-bound measure). *)
+  total_bits : int;  (** Total communication over the whole network. *)
+  prover : string;  (** Name of the prover strategy that was run. *)
+}
+
+val of_cost : accepted:bool -> prover:string -> Ids_network.Cost.t -> t
+
+val pp : Format.formatter -> t -> unit

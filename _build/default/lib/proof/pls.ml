@@ -1,0 +1,213 @@
+module Graph = Ids_graph.Graph
+module Bitset = Ids_graph.Bitset
+module Perm = Ids_graph.Perm
+module Iso = Ids_graph.Iso
+module Spanning_tree = Ids_graph.Spanning_tree
+module Bits = Ids_network.Bits
+
+type verdict = { accepted : bool; advice_bits_per_node : int }
+
+let all_nodes_accept g check =
+  let accepted = ref true in
+  for v = 0 to Graph.n g - 1 do
+    if not (check v) then accepted := false
+  done;
+  !accepted
+
+module Tree = struct
+  type advice = { root : int; parent : int array; dist : int array }
+
+  let honest g root =
+    let t = Spanning_tree.bfs g root in
+    { root = t.Spanning_tree.root; parent = t.Spanning_tree.parent; dist = t.Spanning_tree.dist }
+
+  let advice_bits g =
+    (* root + parent + dist per node *)
+    3 * Bits.id (max 2 (Graph.n g))
+
+  let verify g advice =
+    let n = Graph.n g in
+    let check v =
+      Aggregation.in_range n advice.root
+      && Aggregation.tree_check g ~root:advice.root ~parent:advice.parent ~dist:advice.dist v
+    in
+    { accepted = Array.length advice.parent = n && Array.length advice.dist = n && all_nodes_accept g check;
+      advice_bits_per_node = advice_bits g
+    }
+end
+
+module Lcp_sym = struct
+  type advice = { matrix : string array; rho : int array array }
+
+  let encode_matrix g = Array.init (Graph.n g) (fun v -> Graph.adjacency_row_bits g v)
+
+  let honest g =
+    match Iso.find_nontrivial_automorphism g with
+    | None -> None
+    | Some rho ->
+      let n = Graph.n g in
+      let m = encode_matrix g in
+      let table = Array.init n (Perm.apply rho) in
+      Some { matrix = Array.init n (fun _ -> String.concat "" (Array.to_list m)); rho = Array.make n table }
+
+  let advice_bits g =
+    let n = max 2 (Graph.n g) in
+    (n * n) + (n * Bits.id n)
+
+  (* Is [table] a non-identity automorphism of the n x n 0/1 matrix encoded
+     in [enc] (concatenated rows, self-loop convention)? Local verifiers are
+     computationally unbounded, so a full check here is legitimate. *)
+  let table_is_automorphism n enc table =
+    Array.length table = n
+    && Array.for_all (Aggregation.in_range n) table
+    && (let seen = Array.make n false in
+        Array.iter (fun x -> seen.(x) <- true) table;
+        Array.for_all Fun.id seen)
+    && Array.exists2 (fun i x -> i <> x) (Array.init n Fun.id) table
+    &&
+    let bit u w = enc.[(u * n) + w] in
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      for w = 0 to n - 1 do
+        if bit u w <> bit table.(u) table.(w) then ok := false
+      done
+    done;
+    !ok
+
+  let verify g advice =
+    let n = Graph.n g in
+    let check v =
+      String.length advice.matrix.(v) = n * n
+      &&
+      (* Consistency with neighbors' copies. *)
+      Bitset.fold
+        (fun u acc -> acc && advice.matrix.(u) = advice.matrix.(v) && advice.rho.(u) = advice.rho.(v))
+        (Graph.neighbors g v) true
+      (* My row of the claimed matrix is my actual neighborhood. *)
+      && String.sub advice.matrix.(v) (v * n) n = Graph.adjacency_row_bits g v
+      && table_is_automorphism n advice.matrix.(v) advice.rho.(v)
+    in
+    { accepted =
+        Array.length advice.matrix = n && Array.length advice.rho = n && all_nodes_accept g check;
+      advice_bits_per_node = advice_bits g
+    }
+end
+
+module Lcp_bipartite = struct
+  type advice = bool array
+
+  let honest g =
+    let n = Graph.n g in
+    let side = Array.make n None in
+    let ok = ref true in
+    (* BFS 2-coloring, component by component. *)
+    for start = 0 to n - 1 do
+      if side.(start) = None then begin
+        side.(start) <- Some false;
+        let queue = Queue.create () in
+        Queue.add start queue;
+        while not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          let sv = Option.value side.(v) ~default:false in
+          Bitset.iter
+            (fun u ->
+              match side.(u) with
+              | None ->
+                side.(u) <- Some (not sv);
+                Queue.add u queue
+              | Some su -> if su = sv then ok := false)
+            (Graph.neighbors g v)
+        done
+      end
+    done;
+    if !ok then Some (Array.map (fun s -> Option.value s ~default:false) side) else None
+
+  let advice_bits = 1
+
+  let verify g advice =
+    let n = Graph.n g in
+    let check v =
+      Bitset.fold (fun u acc -> acc && advice.(u) <> advice.(v)) (Graph.neighbors g v) true
+    in
+    { accepted = Array.length advice = n && all_nodes_accept g check;
+      advice_bits_per_node = advice_bits
+    }
+end
+
+module Lcp_odd_cycle = struct
+  type advice = { tree : Tree.advice; witness : int * int }
+
+  let advice_bits g =
+    let n = max 2 (Graph.n g) in
+    Tree.advice_bits g + (2 * Bits.id n)
+
+  let honest g =
+    if not (Graph.is_connected g) then invalid_arg "Lcp_odd_cycle.honest: graph must be connected";
+    let tree = Tree.honest g 0 in
+    let witness =
+      List.find_opt (fun (u, v) -> (tree.Tree.dist.(u) - tree.Tree.dist.(v)) mod 2 = 0) (Graph.edges g)
+    in
+    Option.map (fun w -> { tree; witness = w }) witness
+
+  let verify g advice =
+    let n = Graph.n g in
+    let x, y = advice.witness in
+    let tree_verdict = Tree.verify g advice.tree in
+    let check v =
+      Aggregation.in_range n x
+      && Aggregation.in_range n y
+      &&
+      (* Only the witness endpoints have anything extra to check. *)
+      if v = x || v = y then
+        Graph.has_edge g x y && (advice.tree.Tree.dist.(x) - advice.tree.Tree.dist.(y)) mod 2 = 0
+      else true
+    in
+    { accepted = tree_verdict.accepted && all_nodes_accept g check;
+      advice_bits_per_node = advice_bits g
+    }
+end
+
+module Lcp_gni = struct
+  type advice = { m0 : string array; m1 : string array }
+
+  let concat_rows g = String.concat "" (List.init (Graph.n g) (Graph.adjacency_row_bits g))
+
+  let honest g0 g1 =
+    if Graph.n g0 <> Graph.n g1 then invalid_arg "Lcp_gni.honest: size mismatch";
+    if Iso.are_isomorphic g0 g1 then None
+    else begin
+      let n = Graph.n g0 in
+      let e0 = concat_rows g0 and e1 = concat_rows g1 in
+      Some { m0 = Array.make n e0; m1 = Array.make n e1 }
+    end
+
+  let advice_bits g = 2 * Graph.n g * Graph.n g
+
+  let decode n enc =
+    let g = Graph.make n in
+    for u = 0 to n - 1 do
+      for w = u + 1 to n - 1 do
+        if enc.[(u * n) + w] = '1' then Graph.add_edge g u w
+      done
+    done;
+    g
+
+  let verify g0 g1 advice =
+    let n = Graph.n g0 in
+    let check v =
+      String.length advice.m0.(v) = n * n
+      && String.length advice.m1.(v) = n * n
+      && Bitset.fold
+           (fun u acc -> acc && advice.m0.(u) = advice.m0.(v) && advice.m1.(u) = advice.m1.(v))
+           (Graph.neighbors g0 v) true
+      && String.sub advice.m0.(v) (v * n) n = Graph.adjacency_row_bits g0 v
+      && String.sub advice.m1.(v) (v * n) n = Graph.adjacency_row_bits g1 v
+      &&
+      (* Unbounded local computation: decide GNI on the claimed matrices. *)
+      not (Iso.are_isomorphic (decode n advice.m0.(v)) (decode n advice.m1.(v)))
+    in
+    { accepted =
+        Array.length advice.m0 = n && Array.length advice.m1 = n && all_nodes_accept g0 check;
+      advice_bits_per_node = advice_bits g0
+    }
+end

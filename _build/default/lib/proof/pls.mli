@@ -1,0 +1,112 @@
+(** "Distributed NP" baselines: proof labeling schemes / locally checkable
+    proofs, the non-interactive model the paper's separations are measured
+    against.
+
+    A scheme assigns each node an advice string; nodes exchange advice with
+    their neighbors, run a local check, and the proof is accepted iff all
+    nodes accept. Three schemes are implemented:
+
+    - {!Tree}: the [Theta(log n)] spanning-tree scheme of
+      Korman–Kutten–Peleg, the building block the paper's protocols reuse;
+    - {!Lcp_sym}: the [Theta(n^2)]-bit scheme for Sym — the full adjacency
+      matrix plus a non-trivial automorphism at every node. Göös–Suomela
+      prove a matching [Omega(n^2)] lower bound, which is what Protocol 1
+      beats exponentially;
+    - {!Lcp_gni}: the analogous [Theta(n^2)]-bit scheme for GNI (both
+      adjacency matrices at every node; local verifiers are computationally
+      unbounded, as in the model). *)
+
+type verdict = { accepted : bool; advice_bits_per_node : int }
+
+module Tree : sig
+  type advice = { root : int; parent : int array; dist : int array }
+
+  val honest : Ids_graph.Graph.t -> int -> advice
+  (** [honest g root] is the correct labeling from a BFS tree. *)
+
+  val verify : Ids_graph.Graph.t -> advice -> verdict
+  (** Distributed verification: each node runs the local parent/distance
+      checks against its neighbors' labels. Accepts iff the advice describes
+      a spanning tree of [g] rooted at [advice.root]. *)
+
+  val advice_bits : Ids_graph.Graph.t -> int
+end
+
+module Lcp_sym : sig
+  type advice = { matrix : string array; rho : int array array }
+  (** Per node: a copy of the (claimed) adjacency-matrix encoding and a copy
+      of the (claimed) automorphism table. *)
+
+  val honest : Ids_graph.Graph.t -> advice option
+  (** [None] when the graph is asymmetric (no valid proof exists). *)
+
+  val verify : Ids_graph.Graph.t -> advice -> verdict
+  (** Each node checks: its copy equals its neighbors' copies, row [v] of
+      the claimed matrix matches its actual neighborhood, the claimed [rho]
+      is a non-identity automorphism of the claimed matrix. Sound and
+      complete (deterministically) on connected graphs. *)
+
+  val table_is_automorphism : int -> string -> int array -> bool
+  (** [table_is_automorphism n enc table]: is [table] a non-identity
+      automorphism of the matrix encoded in [enc]? Exposed for the
+      randomized scheme ({!Rpls}), which reuses the exact local checks. *)
+
+  val advice_bits : Ids_graph.Graph.t -> int
+end
+
+(** The introduction's contrast case: "some problems, such as checking
+    bipartiteness, admit very short proofs [23]". One bit of advice per node
+    certifies bipartiteness; an [O(log n)]-bit odd-cycle pointer certifies
+    non-bipartiteness — both exponentially below the [Omega(n^2)] that Sym
+    and GNI force, which is what makes interaction interesting for the
+    latter. *)
+module Lcp_bipartite : sig
+  type advice = bool array
+  (** One bit per node: its side of the claimed bipartition. *)
+
+  val honest : Ids_graph.Graph.t -> advice option
+  (** A 2-coloring by BFS on each component, or [None] if an odd cycle
+      exists. *)
+
+  val verify : Ids_graph.Graph.t -> advice -> verdict
+  (** Each node checks that every neighbor carries the opposite bit.
+      Deterministically sound and complete. *)
+
+  val advice_bits : int
+  (** 1. *)
+end
+
+module Lcp_odd_cycle : sig
+  type advice = {
+    tree : Tree.advice;  (** spanning-tree labels (root, parent, dist) *)
+    witness : int * int;  (** an edge whose endpoints have equal parity *)
+  }
+  (** A non-bipartiteness witness in [Theta(log n)] bits per node: tree
+      distances plus a pointer to one same-parity edge. The tree path
+      between the endpoints plus that edge forms a closed odd walk, which
+      contains an odd cycle. *)
+
+  val honest : Ids_graph.Graph.t -> advice option
+  (** BFS labels and a same-parity edge, or [None] when the graph is
+      bipartite. Requires a connected graph. *)
+
+  val verify : Ids_graph.Graph.t -> advice -> verdict
+  (** All nodes run the spanning-tree checks; the witness endpoints
+      additionally verify that the edge exists and their distances have
+      equal parity. Deterministically sound and complete. *)
+
+  val advice_bits : Ids_graph.Graph.t -> int
+  (** [Theta(log n)]: the tree labels plus two vertex names. *)
+end
+
+module Lcp_gni : sig
+  type advice = { m0 : string array; m1 : string array }
+
+  val honest : Ids_graph.Graph.t -> Ids_graph.Graph.t -> advice option
+  (** [honest g0 g1] is [None] when the graphs are isomorphic. *)
+
+  val verify : Ids_graph.Graph.t -> Ids_graph.Graph.t -> advice -> verdict
+  (** The network graph is [g0]; node [v]'s input is its row of [g1]. *)
+
+  val advice_bits : Ids_graph.Graph.t -> int
+end

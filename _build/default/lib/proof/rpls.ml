@@ -1,0 +1,65 @@
+module Graph = Ids_graph.Graph
+module Bitset = Ids_graph.Bitset
+module Bits = Ids_network.Bits
+module Field = Ids_hash.Field
+module Rng = Ids_bignum.Rng
+
+type verdict = { accepted : bool; advice_bits_per_node : int; verification_bits_per_edge : int }
+
+let deterministic_verification_bits g =
+  let n = max 2 (Graph.n g) in
+  (n * n) + (n * Bits.id n)
+
+(* Fingerprint of an advice copy (matrix encoding + permutation table) as a
+   polynomial hash of its serialized bits at point [a]. *)
+let fingerprint f a (matrix : string) (rho : int array) =
+  let acc = ref f.Field.zero in
+  let feed_bit b =
+    acc := f.Field.add (f.Field.mul !acc a) (if b then f.Field.one else f.Field.zero)
+  in
+  String.iter (fun ch -> feed_bit (ch = '1')) matrix;
+  Array.iter (fun x -> acc := f.Field.add (f.Field.mul !acc a) (f.Field.of_int (x + 1))) rho;
+  !acc
+
+let soundness_error_bound g ~p =
+  let n = Graph.n g in
+  2. *. float_of_int (Graph.edge_count g) *. float_of_int ((n * n) + n) /. float_of_int p
+
+let verify_sym ~seed g (advice : Pls.Lcp_sym.advice) =
+  let n = Graph.n g in
+  let rng = Rng.create seed in
+  if n > 120 then invalid_arg "Rpls.verify_sym: n too large for a native-int field of size ~n^4";
+  let p = Ids_bignum.Prime.random_prime_in_int rng (4 * n * n * n * n) (8 * n * n * n * n) in
+  let f = Field.int_field p in
+  (* Each node draws its index and computes the fingerprint of its own copy
+     once; neighbors verify against their own copies. *)
+  let indices = Array.init n (fun _ -> f.Field.random rng) in
+  let prints = Array.init n (fun u -> fingerprint f indices.(u) advice.Pls.Lcp_sym.matrix.(u) advice.Pls.Lcp_sym.rho.(u)) in
+  let check v =
+    (* Exact local checks, as in the deterministic scheme. *)
+    String.length advice.Pls.Lcp_sym.matrix.(v) = n * n
+    && String.sub advice.Pls.Lcp_sym.matrix.(v) (v * n) n = Graph.adjacency_row_bits g v
+    && Pls.Lcp_sym.table_is_automorphism n advice.Pls.Lcp_sym.matrix.(v) advice.Pls.Lcp_sym.rho.(v)
+    &&
+    (* Fingerprint comparison instead of copy comparison. *)
+    Bitset.fold
+      (fun u acc ->
+        acc
+        && f.Field.equal prints.(u)
+             (fingerprint f indices.(u) advice.Pls.Lcp_sym.matrix.(v) advice.Pls.Lcp_sym.rho.(v)))
+      (Graph.neighbors g v) true
+  in
+  let accepted =
+    Array.length advice.Pls.Lcp_sym.matrix = n
+    && Array.length advice.Pls.Lcp_sym.rho = n
+    &&
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (check v) then ok := false
+    done;
+    !ok
+  in
+  { accepted;
+    advice_bits_per_node = Pls.Lcp_sym.advice_bits g;
+    verification_bits_per_edge = 2 * f.Field.bits (* index + fingerprint *)
+  }

@@ -1,0 +1,42 @@
+(** Randomized proof labeling schemes (Baruch–Fraigniaud–Patt-Shamir, cited
+    as [4] in the paper's related work).
+
+    In an RPLS the prover's advice is unchanged, but the nodes' one-round
+    {e verification} messages to their neighbors are randomized. The cited
+    result: any PLS verification can be compressed exponentially — instead
+    of shipping its whole advice copy to every neighbor for comparison, a
+    node ships an [O(log n)]-bit linear fingerprint, at the price of a small
+    one-sided error.
+
+    The paper points out (Section 1.2) that this does {e not} subsume
+    interactive proofs, because the RPLS still charges [Theta(n^2)] advice
+    per node for Sym; this module makes that comparison measurable: same
+    advice as {!Pls.Lcp_sym}, exponentially cheaper node-to-node
+    verification, advice unchanged.
+
+    The scheme: node [u] draws a random index [a_u] of the Theorem 3.2
+    family and sends each neighbor [(a_u, h_(a_u)(advice_u))]; a neighbor
+    recomputes the fingerprint on its own copy and rejects on mismatch. Two
+    different copies collide with probability at most [m/p] per edge. All
+    exact local checks (own matrix row, automorphism of the claimed matrix)
+    are unchanged, so completeness is perfect and the soundness error is at
+    most [2 |E| m / p]. *)
+
+type verdict = {
+  accepted : bool;
+  advice_bits_per_node : int;
+  verification_bits_per_edge : int;
+      (** The randomized scheme's per-edge verification cost — compare with
+          {!deterministic_verification_bits}. *)
+}
+
+val deterministic_verification_bits : Ids_graph.Graph.t -> int
+(** Per-edge cost of the deterministic comparison the fingerprints replace:
+    one full advice copy ([n^2 + n log n] bits). *)
+
+val verify_sym : seed:int -> Ids_graph.Graph.t -> Pls.Lcp_sym.advice -> verdict
+(** Randomized verification of the {!Pls.Lcp_sym} advice. *)
+
+val soundness_error_bound : Ids_graph.Graph.t -> p:int -> float
+(** The union bound [2 |E| (n^2+n) / p] on the probability that some
+    corrupted copy slips past every fingerprint. *)

@@ -1,0 +1,20 @@
+type estimate = { trials : int; accepts : int; rate : float; mean_bits : float; max_bits : int }
+
+let acceptance ~trials run =
+  if trials <= 0 then invalid_arg "Stats.acceptance: need positive trials";
+  let accepts = ref 0 and bits_sum = ref 0 and bits_max = ref 0 in
+  for seed = 1 to trials do
+    let o = run seed in
+    if o.Outcome.accepted then incr accepts;
+    bits_sum := !bits_sum + o.Outcome.max_bits_per_node;
+    if o.Outcome.max_bits_per_node > !bits_max then bits_max := o.Outcome.max_bits_per_node
+  done;
+  { trials;
+    accepts = !accepts;
+    rate = float_of_int !accepts /. float_of_int trials;
+    mean_bits = float_of_int !bits_sum /. float_of_int trials;
+    max_bits = !bits_max
+  }
+
+let pp fmt e =
+  Format.fprintf fmt "%d/%d accepted (%.3f), %.1f bits/node mean" e.accepts e.trials e.rate e.mean_bits

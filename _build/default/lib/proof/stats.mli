@@ -1,0 +1,18 @@
+(** Acceptance-rate estimation over repeated protocol executions.
+
+    Definition 2's correctness thresholds (2/3 for YES instances, 1/3 for NO
+    instances) are probabilities over Arthur's coins; the experiments
+    estimate them by running a protocol many times with fresh seeds. *)
+
+type estimate = {
+  trials : int;
+  accepts : int;
+  rate : float;
+  mean_bits : float;  (** Mean over trials of the max-per-node bit cost. *)
+  max_bits : int;  (** Maximum over trials of the same. *)
+}
+
+val acceptance : trials:int -> (int -> Outcome.t) -> estimate
+(** [acceptance ~trials run] executes [run seed] for [seed = 1 .. trials]. *)
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,176 @@
+module Graph = Ids_graph.Graph
+module Bitset = Ids_graph.Bitset
+module Perm = Ids_graph.Perm
+module Iso = Ids_graph.Iso
+module Spanning_tree = Ids_graph.Spanning_tree
+module Network = Ids_network.Network
+module Bits = Ids_network.Bits
+module Field = Ids_hash.Field
+module Linear = Ids_hash.Linear
+module Nat = Ids_bignum.Nat
+module Rng = Ids_bignum.Rng
+
+type params = { p : Nat.t; field : Nat.t Field.t }
+
+let params_for ~seed g =
+  let n = max 2 (Graph.n g) in
+  let rng = Rng.create (seed lxor 0x2a17) in
+  let bound = Nat.pow (Nat.of_int n) (n + 2) in
+  let p =
+    Ids_bignum.Prime.random_prime_in rng (Nat.mul_int bound 10) (Nat.mul_int bound 100)
+  in
+  { p; field = Field.nat_field p }
+
+type response = {
+  rho : int array array;
+  index : Nat.t array;
+  root : int array;
+  parent : int array;
+  dist : int array;
+  a : Nat.t array;
+  b : Nat.t array;
+}
+
+type prover = { name : string; respond : params -> Graph.t -> Nat.t array -> response }
+
+let const n v = Array.make n v
+
+(* Consistent play for a given mapping: root moved by [rho], echo of the
+   root's challenge, true subtree sums for both matrices. *)
+let respond_with_rho params g challenges rho_table =
+  let n = Graph.n g in
+  let f = params.field in
+  let rec moved v = if v >= n then 0 else if rho_table.(v) <> v then v else moved (v + 1) in
+  let root = moved 0 in
+  let tree = Spanning_tree.bfs g root in
+  let i = challenges.(root) in
+  let term_a v = Linear.row_hash f i ~n ~row:v (Graph.closed_neighborhood g v) in
+  let term_b v =
+    let image = Bitset.create n in
+    Bitset.iter (fun u -> Bitset.add image rho_table.(u)) (Graph.closed_neighborhood g v);
+    Linear.row_hash f i ~n ~row:rho_table.(v) image
+  in
+  { rho = const n rho_table;
+    index = const n i;
+    root = const n root;
+    parent = Array.copy tree.Spanning_tree.parent;
+    dist = Array.copy tree.Spanning_tree.dist;
+    a = Aggregation.honest_sums f tree ~term:term_a;
+    b = Aggregation.honest_sums f tree ~term:term_b
+  }
+
+let fallback_table n = Perm.to_array (Perm.transposition n 0 (min 1 (n - 1)))
+
+let honest =
+  { name = "honest";
+    respond =
+      (fun params g challenges ->
+        let table =
+          match Iso.find_nontrivial_automorphism g with
+          | Some rho -> Array.init (Graph.n g) (Perm.apply rho)
+          | None -> fallback_table (Graph.n g)
+        in
+        respond_with_rho params g challenges table)
+  }
+
+let run ?params ~seed g prover =
+  let n = Graph.n g in
+  if n < 2 then invalid_arg "Sym_dam.run: need at least 2 nodes";
+  let params = match params with Some p -> p | None -> params_for ~seed g in
+  let f = params.field in
+  let net = Network.create ~seed g in
+  (* Arthur round. *)
+  let challenges = Network.challenge net ~bits:f.Field.bits (fun rng -> f.Field.random rng) in
+  (* Merlin round. *)
+  let r = prover.respond params g challenges in
+  let rho_bc = Network.broadcast net ~bits:(Bits.perm n) r.rho in
+  let index_bc = Network.broadcast net ~bits:f.Field.bits r.index in
+  let root_bc = Network.broadcast net ~bits:(Bits.id n) r.root in
+  let parent_u = Network.unicast net ~bits:(Bits.id n) r.parent in
+  let dist_u = Network.unicast net ~bits:(Bits.id n) r.dist in
+  let a_u = Network.unicast net ~bits:f.Field.bits r.a in
+  let b_u = Network.unicast net ~bits:f.Field.bits r.b in
+  let field_ok x = Nat.compare x params.p < 0 in
+  let decide v =
+    Network.broadcast_consistent_at net rho_bc v
+    && Network.broadcast_consistent_at net index_bc v
+    && Network.broadcast_consistent_at net root_bc v
+    &&
+    let rho = rho_bc.(v) and i = index_bc.(v) and root = root_bc.(v) in
+    Array.length rho = n
+    && Array.for_all (Aggregation.in_range n) rho
+    && Aggregation.in_range n root
+    && field_ok i && field_ok a_u.(v) && field_ok b_u.(v)
+    && Aggregation.tree_check g ~root ~parent:parent_u ~dist:dist_u v
+    &&
+    let neighborhood = Graph.closed_neighborhood g v in
+    let children = Aggregation.children g ~parent:parent_u v in
+    let own_a = Linear.row_hash f i ~n ~row:v neighborhood in
+    let image = Bitset.create n in
+    Bitset.iter (fun u -> Bitset.add image rho.(u)) neighborhood;
+    let own_b = Linear.row_hash f i ~n ~row:rho.(v) image in
+    Aggregation.subtree_equation f ~own:own_a ~claimed:a_u ~children v
+    && Aggregation.subtree_equation f ~own:own_b ~claimed:b_u ~children v
+    &&
+    if v = root then f.Field.equal a_u.(v) b_u.(v) && rho.(v) <> v && Nat.equal i challenges.(v)
+    else true
+  in
+  let accepted = Network.decide net decide in
+  Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
+
+(* --- adversaries ------------------------------------------------------------ *)
+
+let collides params g table i =
+  let f = params.field in
+  let n = Graph.n g in
+  let ha = Linear.graph_hash f i g in
+  let hb =
+    let acc = ref f.Field.zero in
+    for v = 0 to n - 1 do
+      let image = Bitset.create n in
+      Bitset.iter (fun u -> Bitset.add image table.(u)) (Graph.closed_neighborhood g v);
+      acc := f.Field.add !acc (Linear.row_hash f i ~n ~row:table.(v) image)
+    done;
+    !acc
+  in
+  f.Field.equal ha hb
+
+let adversary_search =
+  { name = "adversary:search";
+    respond =
+      (fun params g challenges ->
+        let n = Graph.n g in
+        let rng = Rng.create (Hashtbl.hash (Graph.encode g) lxor 0x9e1) in
+        let candidates =
+          List.concat
+            [ List.concat_map
+                (fun u ->
+                  List.filter_map
+                    (fun w -> if u < w then Some (Perm.to_array (Perm.transposition n u w)) else None)
+                    (List.init n Fun.id))
+                (List.init n Fun.id);
+              List.init 20 (fun _ -> Perm.to_array (Perm.random_nonidentity rng n))
+            ]
+        in
+        (* The root the consistent strategy will use is the first vertex the
+           mapping moves, so test the collision under that root's challenge. *)
+        let winning table =
+          let rec moved v = if v >= n then 0 else if table.(v) <> v then v else moved (v + 1) in
+          collides params g table challenges.(moved 0)
+        in
+        let table =
+          match List.find_opt winning candidates with
+          | Some t -> t
+          | None -> fallback_table n
+        in
+        respond_with_rho params g challenges table)
+  }
+
+let adversary_random_perm =
+  { name = "adversary:random-perm";
+    respond =
+      (fun params g challenges ->
+        let rng = Rng.create (Hashtbl.hash (Graph.encode g) lxor 0x77) in
+        let table = Perm.to_array (Perm.random_nonidentity rng (Graph.n g)) in
+        respond_with_rho params g challenges table)
+  }

@@ -1,0 +1,62 @@
+(** Protocol 2: the [dAM\[O(n log n)\]] protocol for Graph Symmetry
+    (Theorem 1.3, Section 3.2).
+
+    In dAM the random challenge comes {e first}, so the prover cannot be
+    forced to commit to the permutation before the hash index is known. The
+    paper compensates with two changes to Protocol 1:
+
+    - the prover broadcasts the {e full} permutation [rho : V -> V]
+      ([n log n] bits) rather than each node's own image;
+    - the hash family uses a prime [p in \[10 n^(n+2), 100 n^(n+2)\]]
+      (arbitrary precision), so a union bound over all [n^n] mappings keeps
+      the soundness error below 1/3 even though the prover picks [rho] after
+      seeing the index.
+
+    Rounds:
+    + {b Arthur} — each node sends a random index [i_v in \[|H|\]]
+      ([O(n log n)] bits);
+    + {b Merlin} — broadcast [(rho, i, r)]; unicast [(t_v, d_v, a_v, b_v)].
+
+    Verification is Protocol 1's, with the [b]-row computed from the
+    broadcast table: node [v] checks its copy of
+    [h_i(\[rho(v), rho(N(v))\])]. As in the paper (Theorem 3.5's proof),
+    [rho] need not be validated as a permutation: Lemma 3.1's argument
+    covers arbitrary non-identity mappings. *)
+
+type params = { p : Ids_bignum.Nat.t; field : Ids_bignum.Nat.t Ids_hash.Field.t }
+
+val params_for : seed:int -> Ids_graph.Graph.t -> params
+(** A random prime in [\[10 n^(n+2), 100 n^(n+2)\]]. *)
+
+type response = {
+  rho : int array array;  (** broadcast: each node's copy of the full table *)
+  index : Ids_bignum.Nat.t array;  (** broadcast *)
+  root : int array;  (** broadcast *)
+  parent : int array;  (** unicast *)
+  dist : int array;  (** unicast *)
+  a : Ids_bignum.Nat.t array;  (** unicast *)
+  b : Ids_bignum.Nat.t array;  (** unicast *)
+}
+
+type prover = {
+  name : string;
+  respond : params -> Ids_graph.Graph.t -> Ids_bignum.Nat.t array -> response;
+      (** Sees all challenges — dAM provers answer after Arthur speaks. *)
+}
+
+val honest : prover
+
+val run : ?params:params -> seed:int -> Ids_graph.Graph.t -> prover -> Outcome.t
+
+(** {1 Adversaries} *)
+
+val adversary_search : prover
+(** The strongest cheat we implement: after seeing the root candidates'
+    challenges, searches transpositions and random permutations for a
+    mapping colliding under the revealed index, and plays it consistently
+    if found. On asymmetric graphs its success probability is bounded by
+    the union-bound analysis of Theorem 3.5 (about [n^2 (n^2+n) / p],
+    astronomically small). *)
+
+val adversary_random_perm : prover
+(** Ignores the challenge and plays a random non-identity permutation. *)

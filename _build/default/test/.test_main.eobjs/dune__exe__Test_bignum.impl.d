@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Array Fun Ids_bignum List Modarith Nat Prime Printf QCheck QCheck_alcotest Rng Stdlib String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Amplify Array Bytes Gni_full Ids_bignum Ids_graph Ids_proof Lazy List Option Outcome Pls Printf Rpls Stats Sym_dmam

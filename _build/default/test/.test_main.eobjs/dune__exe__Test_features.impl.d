@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Family Fun Gni_induced Graph Graph_io Hashtbl Ids_bignum Ids_graph Ids_proof Iso Lazy List Option Outcome Pls Printf QCheck QCheck_alcotest Stats Stdlib String

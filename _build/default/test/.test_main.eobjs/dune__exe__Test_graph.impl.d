@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bitset Family Format Graph Ids_bignum Ids_graph Iso List Perm Printf QCheck QCheck_alcotest Spanning_tree Stdlib

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Api Array Field Float Fun Ids_bignum Ids_graph Ids_hash Linear List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Amplify Array Dsym Gni Gni_full Ids_bignum Ids_graph Ids_proof Lazy Outcome Pls QCheck QCheck_alcotest Rpls String Sym_dam Sym_dmam

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Dist Float Ids_bignum Ids_graph Ids_lowerbound Lazy List Packing Printf QCheck QCheck_alcotest Toy_protocol

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Bits Cost Fun Ids_bignum Ids_graph Ids_network List Network QCheck QCheck_alcotest Stdlib

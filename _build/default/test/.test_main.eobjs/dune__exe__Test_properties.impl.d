@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bitset Family Fun Graph Ids_bignum Ids_graph Ids_hash Iso List Perm QCheck QCheck_alcotest Spanning_tree Stdlib

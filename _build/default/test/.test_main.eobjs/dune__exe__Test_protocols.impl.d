@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Dsym Fun Gni Ids_bignum Ids_graph Ids_hash Ids_network Ids_proof List Option Outcome Pls Printf Stats Sym_dam Sym_dmam

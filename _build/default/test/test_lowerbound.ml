@@ -1,0 +1,234 @@
+(* Tests for the Section 3.4 lower-bound machinery: distributions and L1
+   distance, the packing lemma computations (Lemma 3.12, Theorem 1.4), and
+   the executable toy-protocol rendering of the framework (response sets,
+   Lemma 3.9's acceptance identity, Lemma 3.11's separation, Lemma 3.7's
+   simple transformation, and the pigeonhole soundness failure). *)
+
+open Ids_lowerbound
+module Graph = Ids_graph.Graph
+module Family = Ids_graph.Family
+module Iso = Ids_graph.Iso
+module Rng = Ids_bignum.Rng
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Dist ----------------------------------------------------------------------- *)
+
+let test_dist_basics () =
+  let d = Dist.of_samples [ 1; 1; 2; 2; 2; 3 ] in
+  Alcotest.(check (float 1e-9)) "p(2)" 0.5 (Dist.prob d 2);
+  Alcotest.(check (float 1e-9)) "p(1)" (1. /. 3.) (Dist.prob d 1);
+  Alcotest.(check (float 1e-9)) "p(absent)" 0.0 (Dist.prob d 7);
+  Alcotest.(check (list int)) "support sorted" [ 1; 2; 3 ] (Dist.support d)
+
+let test_dist_of_assoc_validation () =
+  (match Dist.of_assoc [ (1, 0.5); (2, 0.4) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "must sum to 1");
+  match Dist.of_assoc [ (1, -0.5); (2, 1.5) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no negative weights"
+
+let test_l1_distance_known () =
+  let a = Dist.of_assoc [ (0, 1.0) ] and b = Dist.of_assoc [ (1, 1.0) ] in
+  Alcotest.(check (float 1e-9)) "disjoint point masses" 2.0 (Dist.l1_distance a b);
+  Alcotest.(check (float 1e-9)) "identical" 0.0 (Dist.l1_distance a a);
+  let c = Dist.of_assoc [ (0, 0.5); (1, 0.5) ] in
+  Alcotest.(check (float 1e-9)) "half overlap" 1.0 (Dist.l1_distance a c);
+  Alcotest.(check (float 1e-9)) "tv = l1/2" 0.5 (Dist.total_variation a c)
+
+let test_event_gap_bound () =
+  (* The inequality used in Lemma 3.11: an event with probability gap p
+     certifies L1 distance >= 2p. *)
+  let a = Dist.of_assoc [ (0, 0.9); (1, 0.1) ] and b = Dist.of_assoc [ (0, 0.2); (1, 0.8) ] in
+  let lower = Dist.event_gap_lower_bound a b (fun x -> x = 0) in
+  Alcotest.(check (float 1e-9)) "gap bound" 1.4 lower;
+  Alcotest.(check bool) "is a lower bound" true (Dist.l1_distance a b >= lower)
+
+let prop_l1_triangle =
+  QCheck.Test.make ~name:"L1 triangle inequality" ~count:200
+    QCheck.(triple (list_of_size (QCheck.Gen.int_range 1 8) (int_bound 4))
+              (list_of_size (QCheck.Gen.int_range 1 8) (int_bound 4))
+              (list_of_size (QCheck.Gen.int_range 1 8) (int_bound 4)))
+    (fun (xs, ys, zs) ->
+      let a = Dist.of_samples xs and b = Dist.of_samples ys and c = Dist.of_samples zs in
+      Dist.l1_distance a c <= Dist.l1_distance a b +. Dist.l1_distance b c +. 1e-9)
+
+let prop_l1_bounds =
+  QCheck.Test.make ~name:"0 <= L1 <= 2, symmetric" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 8) (int_bound 4))
+              (list_of_size (QCheck.Gen.int_range 1 8) (int_bound 4)))
+    (fun (xs, ys) ->
+      let a = Dist.of_samples xs and b = Dist.of_samples ys in
+      let d = Dist.l1_distance a b in
+      d >= 0. && d <= 2. +. 1e-9 && Float.abs (d -. Dist.l1_distance b a) < 1e-9)
+
+(* --- Packing -------------------------------------------------------------------- *)
+
+let test_packing_bound_values () =
+  Alcotest.(check string) "5^4" "625" (Ids_bignum.Nat.to_string (Packing.packing_bound_exact ~d:4));
+  Alcotest.(check (float 1e-6)) "log2 5^10" (10. *. (log 5. /. log 2.)) (Packing.log2_packing_bound ~d:10)
+
+let test_ball_volume_formula () =
+  (* vol B(x, r) = (4r)^d / (d+1)!; for d=1, r=1/4: vol = 1/2. *)
+  Alcotest.(check (float 1e-9)) "d=1 r=1/4" (-1.) (Packing.log2_ball_volume ~d:1 ~r:0.25);
+  (* Ratio of the two Lemma 3.12 balls is exactly 5^d. *)
+  let d = 7 in
+  let ratio = Packing.log2_ball_volume ~d ~r:1.25 -. Packing.log2_ball_volume ~d ~r:0.25 in
+  Alcotest.(check (float 1e-6)) "ratio = 5^d" (Packing.log2_packing_bound ~d) ratio
+
+let test_family_size_growth () =
+  (* log2 |F(n)| = Omega(n^2): check the quadratic dominates at scale. *)
+  let f100 = Packing.log2_family_size 100 and f200 = Packing.log2_family_size 200 in
+  Alcotest.(check bool) "superlinear growth" true (f200 > 3.5 *. f100);
+  Alcotest.(check bool) "near n^2/2" true (f200 > 0.8 *. (200. *. 199. /. 2.) *. 0.5)
+
+let test_min_protocol_length_curve () =
+  (* The Theorem 1.4 curve: grows, and like log log n (adding one bit to L
+     squares the packable family's exponent). *)
+  let l = Packing.min_protocol_length in
+  Alcotest.(check bool) "monotone" true (l 10 <= l 1000 && l 1000 <= l 1_000_000);
+  Alcotest.(check bool) "nontrivial at large n" true (l 1_000_000 >= 3);
+  (* Doubly exponential spacing: going from L to L+1 should need roughly the
+     square of the family exponent. *)
+  let rec first_n_with target n = if l n >= target then n else first_n_with target (n * 2) in
+  let n3 = first_n_with 3 2 and n4 = first_n_with 4 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "L=3 at n=%d, L=4 at n=%d" n3 n4)
+    true
+    (n4 >= n3 * n3 / 4)
+
+let test_lower_bound_table_shape () =
+  let table = Packing.lower_bound_table [ 10; 100; 1000 ] in
+  Alcotest.(check int) "three rows" 3 (List.length table);
+  List.iter
+    (fun (n, logf, l) ->
+      Alcotest.(check bool) (Printf.sprintf "n=%d sane" n) true (logf >= 0. && l >= 1))
+    table
+
+(* --- Toy protocol ----------------------------------------------------------------- *)
+
+let family6 =
+  lazy
+    (let rng = Rng.create 300 in
+     Array.of_list (Family.asymmetric_family rng ~n:6 ~size:6))
+
+let test_toy_make_validation () =
+  let fam = Lazy.force family6 in
+  (match Toy_protocol.make [||] ~length:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty family rejected");
+  match Toy_protocol.make fam ~length:40 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "absurd length rejected"
+
+let test_toy_response_sets () =
+  let fam = Lazy.force family6 in
+  let t = Toy_protocol.make fam ~length:(Toy_protocol.min_correct_length fam) in
+  Array.iteri
+    (fun i _ ->
+      let ma = Toy_protocol.m_a t i in
+      Alcotest.(check (list int)) "M_A is the fingerprint singleton" [ Toy_protocol.fingerprint t i ] ma;
+      Alcotest.(check (list int)) "M_A = M_B" ma (Toy_protocol.m_b t i))
+    fam
+
+let test_toy_lemma_3_9_acceptance () =
+  (* Lemma 3.9: best-prover acceptance = Pr(M_A cap M_B nonempty); for the
+     deterministic toy protocol that is 1 on diagonal pairs, 0 elsewhere. *)
+  let fam = Lazy.force family6 in
+  let t = Toy_protocol.make fam ~length:(Toy_protocol.min_correct_length fam) in
+  Array.iteri
+    (fun i _ ->
+      Array.iteri
+        (fun j _ ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "acceptance(%d,%d)" i j)
+            (if i = j then 1.0 else 0.0)
+            (Toy_protocol.acceptance t i j))
+        fam)
+    fam
+
+let test_toy_lemma_3_11_separation () =
+  (* A correct protocol's mu_A distributions are pairwise >= 2/3 apart. *)
+  let fam = Lazy.force family6 in
+  let t = Toy_protocol.make fam ~length:(Toy_protocol.min_correct_length fam) in
+  Alcotest.(check bool) "protocol correct" true (Toy_protocol.correct t);
+  let m = Toy_protocol.pairwise_l1 t in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j d ->
+          if i <> j then
+            Alcotest.(check bool) (Printf.sprintf "d(%d,%d)=%.2f >= 2/3" i j d) true (d >= 2. /. 3.))
+        row)
+    m
+
+let test_toy_pigeonhole_soundness_failure () =
+  (* Below log2 |F| bits there must be a fingerprint collision, the two
+     distributions coincide, and the protocol stops being correct — the
+     packing phenomenon of Theorem 1.4 in executable form. *)
+  let fam = Lazy.force family6 in
+  let short = Toy_protocol.min_correct_length fam - 1 in
+  let t = Toy_protocol.make fam ~length:short in
+  match Toy_protocol.colliding_pair t with
+  | None -> Alcotest.fail "pigeonhole guarantees a collision"
+  | Some (i, j) ->
+    Alcotest.(check (float 1e-9)) "distributions coincide" 0.0
+      (Dist.l1_distance (Toy_protocol.mu_a t i) (Toy_protocol.mu_a t j));
+    Alcotest.(check (float 1e-9)) "cheater accepted on mixed dumbbell" 1.0 (Toy_protocol.acceptance t i j);
+    Alcotest.(check bool) "protocol incorrect" false (Toy_protocol.correct t);
+    (* And the mixed dumbbell really is a NO instance of Sym. *)
+    let g = Family.dumbbell fam.(i) fam.(j) in
+    Alcotest.(check bool) "G(F_i, F_j) asymmetric" true (Iso.is_asymmetric g)
+
+let test_toy_lemma_3_7_simple_transformation () =
+  let fam = Lazy.force family6 in
+  let t = Toy_protocol.make fam ~length:(Toy_protocol.min_correct_length fam) in
+  Alcotest.(check int) "4L length" (4 * 3) (Toy_protocol.simple_length t);
+  Alcotest.(check bool) "transformed protocol agrees" true (Toy_protocol.simple_agrees t);
+  (* The combined bridge response contains the original fingerprint in each
+     of its four L-bit slots. *)
+  let m = Toy_protocol.fingerprint t 2 in
+  let combined = Toy_protocol.simple_bridge_response t 2 in
+  let l = 3 in
+  let mask = (1 lsl l) - 1 in
+  List.iter
+    (fun slot -> Alcotest.(check int) "slot content" m ((combined lsr (slot * l)) land mask))
+    [ 0; 1; 2; 3 ]
+
+let test_toy_curve_vs_packing_floor () =
+  (* The executable protocol needs ceil log2 |F| bits; the information floor
+     of Theorem 1.4 is doubly-logarithmic, hence far below it. *)
+  let fam = Lazy.force family6 in
+  let needed = Toy_protocol.min_correct_length fam in
+  let floor = Packing.min_protocol_length 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "floor %d <= toy requirement %d" floor needed)
+    true (floor <= needed)
+
+let suite =
+  [ ( "dist",
+      [ Alcotest.test_case "basics" `Quick test_dist_basics;
+        Alcotest.test_case "of_assoc validation" `Quick test_dist_of_assoc_validation;
+        Alcotest.test_case "L1 known values" `Quick test_l1_distance_known;
+        Alcotest.test_case "event gap bound" `Quick test_event_gap_bound;
+        qtest prop_l1_triangle;
+        qtest prop_l1_bounds
+      ] );
+    ( "packing",
+      [ Alcotest.test_case "5^d bound" `Quick test_packing_bound_values;
+        Alcotest.test_case "ball volume formula" `Quick test_ball_volume_formula;
+        Alcotest.test_case "family size growth" `Quick test_family_size_growth;
+        Alcotest.test_case "Theorem 1.4 curve" `Quick test_min_protocol_length_curve;
+        Alcotest.test_case "lower bound table" `Quick test_lower_bound_table_shape
+      ] );
+    ( "toy_protocol",
+      [ Alcotest.test_case "validation" `Quick test_toy_make_validation;
+        Alcotest.test_case "response sets" `Quick test_toy_response_sets;
+        Alcotest.test_case "Lemma 3.9 acceptance identity" `Quick test_toy_lemma_3_9_acceptance;
+        Alcotest.test_case "Lemma 3.11 separation" `Quick test_toy_lemma_3_11_separation;
+        Alcotest.test_case "pigeonhole soundness failure" `Quick test_toy_pigeonhole_soundness_failure;
+        Alcotest.test_case "Lemma 3.7 transformation" `Quick test_toy_lemma_3_7_simple_transformation;
+        Alcotest.test_case "toy vs packing floor" `Quick test_toy_curve_vs_packing_floor
+      ] )
+  ]

@@ -1,0 +1,129 @@
+(* Tests for the ids_network substrate: bit accounting, cost ledger, and the
+   broadcast/unicast semantics of the execution context. *)
+
+open Ids_network
+module Graph = Ids_graph.Graph
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_bits_values () =
+  Alcotest.(check int) "ceil_log2 1" 0 (Bits.ceil_log2 1);
+  Alcotest.(check int) "ceil_log2 2" 1 (Bits.ceil_log2 2);
+  Alcotest.(check int) "ceil_log2 3" 2 (Bits.ceil_log2 3);
+  Alcotest.(check int) "ceil_log2 1024" 10 (Bits.ceil_log2 1024);
+  Alcotest.(check int) "ceil_log2 1025" 11 (Bits.ceil_log2 1025);
+  Alcotest.(check int) "id 16" 4 (Bits.id 16);
+  Alcotest.(check int) "id 1 at least one bit" 1 (Bits.id 1);
+  Alcotest.(check int) "field 7 needs 3 bits" 3 (Bits.field_int 7);
+  Alcotest.(check int) "perm 8" 24 (Bits.perm 8)
+
+let test_bits_invalid () =
+  Alcotest.check_raises "non-positive" (Invalid_argument "Bits.ceil_log2: non-positive") (fun () ->
+      ignore (Bits.ceil_log2 0))
+
+let test_cost_ledger () =
+  let c = Cost.create 3 in
+  Cost.charge_to_prover c 0 10;
+  Cost.charge_from_prover c 0 5;
+  Cost.charge_from_prover c 1 100;
+  Cost.charge_all_from_prover c 1;
+  Alcotest.(check int) "node 0 total" 16 (Cost.node_total c 0);
+  Alcotest.(check int) "node 1 total" 101 (Cost.node_total c 1);
+  Alcotest.(check int) "node 2 total" 1 (Cost.node_total c 2);
+  Alcotest.(check int) "max per node" 101 (Cost.max_per_node c);
+  Alcotest.(check int) "max from prover" 101 (Cost.max_from_prover c);
+  Alcotest.(check int) "grand total" 118 (Cost.total c)
+
+let test_challenge_charges_and_determinism () =
+  let g = Graph.cycle 5 in
+  let net1 = Network.create ~seed:7 g in
+  let net2 = Network.create ~seed:7 g in
+  let c1 = Network.challenge net1 ~bits:12 (fun rng -> Ids_bignum.Rng.bits rng 12) in
+  let c2 = Network.challenge net2 ~bits:12 (fun rng -> Ids_bignum.Rng.bits rng 12) in
+  Alcotest.(check (array int)) "same seed, same challenges" c1 c2;
+  for v = 0 to 4 do
+    Alcotest.(check int) "charged to prover" 12 (Cost.to_prover (Network.cost net1) v)
+  done;
+  let net3 = Network.create ~seed:8 g in
+  let c3 = Network.challenge net3 ~bits:12 (fun rng -> Ids_bignum.Rng.bits rng 12) in
+  Alcotest.(check bool) "different seed differs" true (c1 <> c3)
+
+let test_challenges_independent_across_nodes () =
+  let g = Graph.complete 6 in
+  let net = Network.create ~seed:3 g in
+  let c = Network.challenge net ~bits:30 (fun rng -> Ids_bignum.Rng.bits rng 30) in
+  let distinct = List.sort_uniq Stdlib.compare (Array.to_list c) in
+  Alcotest.(check int) "6 nodes, 6 distinct 30-bit draws" 6 (List.length distinct)
+
+let test_broadcast_consistency () =
+  let g = Graph.path 4 in
+  let net = Network.create ~seed:1 g in
+  let uniform = Network.broadcast_uniform net ~bits:8 42 in
+  for v = 0 to 3 do
+    Alcotest.(check bool) "uniform consistent" true (Network.broadcast_consistent_at net uniform v)
+  done;
+  let split = Network.broadcast net ~bits:8 [| 42; 42; 7; 7 |] in
+  Alcotest.(check bool) "node 0 sees consistent prefix" true (Network.broadcast_consistent_at net split 0);
+  Alcotest.(check bool) "node 1 catches mismatch" false (Network.broadcast_consistent_at net split 1);
+  Alcotest.(check bool) "node 2 catches mismatch" false (Network.broadcast_consistent_at net split 2)
+
+let test_nonconstant_broadcast_always_caught_when_connected () =
+  (* On a connected graph, any non-constant assignment must fail at some
+     node: the distributed check implements a true broadcast. *)
+  let rng = Ids_bignum.Rng.create 5 in
+  for _ = 1 to 30 do
+    let g = Graph.random_connected_gnp rng 10 0.3 in
+    let net = Network.create ~seed:1 g in
+    let values = Array.init 10 (fun _ -> Ids_bignum.Rng.int rng 3) in
+    let constant = Array.for_all (fun x -> x = values.(0)) values in
+    let all_pass =
+      List.for_all (fun v -> Network.broadcast_consistent_at net values v) (List.init 10 Fun.id)
+    in
+    Alcotest.(check bool) "caught iff non-constant" constant all_pass
+  done
+
+let test_unicast_charges () =
+  let g = Graph.star 4 in
+  let net = Network.create ~seed:1 g in
+  let _ = Network.unicast net ~bits:9 [| 1; 2; 3; 4 |] in
+  let _ = Network.unicast_varbits net ~bits:(fun v -> v) [| 1; 2; 3; 4 |] in
+  for v = 0 to 3 do
+    Alcotest.(check int) "per-node charge" (9 + v) (Cost.from_prover (Network.cost net) v)
+  done
+
+let test_unicast_length_mismatch () =
+  let net = Network.create ~seed:1 (Graph.path 3) in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Network: response length mismatch") (fun () ->
+      ignore (Network.unicast net ~bits:1 [| 1; 2 |]))
+
+let test_decide_all_must_accept () =
+  let net = Network.create ~seed:1 (Graph.path 5) in
+  Alcotest.(check bool) "all accept" true (Network.decide net (fun _ -> true));
+  Alcotest.(check bool) "one rejects" false (Network.decide net (fun v -> v <> 3))
+
+let prop_cost_total_is_sum =
+  QCheck.Test.make ~name:"cost total = sum of node totals" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_bound 20) (pair (int_bound 4) (int_bound 50)))
+    (fun charges ->
+      let c = Cost.create 5 in
+      List.iter (fun (v, b) -> Cost.charge_to_prover c v b) charges;
+      Cost.total c = List.fold_left (fun acc (_, b) -> acc + b) 0 charges)
+
+let suite =
+  [ ( "bits",
+      [ Alcotest.test_case "known values" `Quick test_bits_values;
+        Alcotest.test_case "invalid input" `Quick test_bits_invalid
+      ] );
+    ( "cost",
+      [ Alcotest.test_case "ledger arithmetic" `Quick test_cost_ledger; qtest prop_cost_total_is_sum ] );
+    ( "network",
+      [ Alcotest.test_case "challenge charges + determinism" `Quick test_challenge_charges_and_determinism;
+        Alcotest.test_case "per-node challenge independence" `Quick test_challenges_independent_across_nodes;
+        Alcotest.test_case "broadcast consistency check" `Quick test_broadcast_consistency;
+        Alcotest.test_case "non-constant broadcast caught" `Quick
+          test_nonconstant_broadcast_always_caught_when_connected;
+        Alcotest.test_case "unicast charges" `Quick test_unicast_charges;
+        Alcotest.test_case "unicast length mismatch" `Quick test_unicast_length_mismatch;
+        Alcotest.test_case "decide = conjunction" `Quick test_decide_all_must_accept
+      ] )
+  ]
