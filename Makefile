@@ -1,0 +1,22 @@
+# Convenience wrappers around dune; `make test` is the tier-1 gate.
+
+.PHONY: all test test-fast bench clean
+
+all:
+	dune build
+
+# Tier-1: full build + full test suite (the CI gate).
+test:
+	dune build && dune runtest
+
+# Same suite with Monte Carlo trial budgets cut down via IDS_TRIALS_SCALE.
+test-fast:
+	dune build @runtest-fast
+
+# Regenerate the EXPERIMENTS.md tables (plus the JSON run log ids_runs.jsonl).
+# IDS_DOMAINS / IDS_TRIALS_SCALE / IDS_RUNLOG tune workers, budgets, log path.
+bench:
+	dune exec bench/main.exe -- tables
+
+clean:
+	dune clean

@@ -12,27 +12,46 @@ module Iso = Ids_graph.Iso
 module Perm = Ids_graph.Perm
 module Rng = Ids_bignum.Rng
 module Bits = Ids_network.Bits
+module Engine = Ids_engine.Engine
+module Runlog = Ids_engine.Runlog
 open Ids_proof
 
 let header title = Printf.printf "\n=== %s ===\n\n" title
 
-let rate_of est = est.Stats.rate
+(* Every estimate goes through the parallel engine (worker count from
+   IDS_DOMAINS, default all cores). Base trial counts are multiplied by
+   IDS_TRIALS_SCALE, default 4x the historical sequential budgets — the
+   engine buys the extra statistical power back in wall time. *)
+let scaled trials = Engine.scaled_trials ~default_scale:4.0 trials
+
+let est ~protocol ~n ~prover ~trials run =
+  let e = Stats.acceptance_ci ~trials:(scaled trials) run in
+  Runlog.log ~protocol ~n ~prover e;
+  e
+
+let rate_of est = est.Engine.rate
+
+let ci est = Printf.sprintf "[%.3f,%.3f]" est.Engine.ci_low est.Engine.ci_high
 
 (* --- E1: Theorem 1.1 — Sym in dMAM[O(log n)] ---------------------------------- *)
 
 let e1 () =
   header "E1  Theorem 1.1: Sym in dMAM[O(log n)]  (Protocol 1)";
-  Printf.printf "%6s | %9s %9s | %12s %12s | %10s %12s\n" "n" "YES acc" "NO acc" "bits/node" "16logn+28"
-    "NO exact" "m/p bound";
+  Printf.printf "%6s | %9s %15s %9s %15s | %12s %12s | %10s %12s\n" "n" "YES acc" "YES 95% CI"
+    "NO acc" "NO 95% CI" "bits/node" "16logn+28" "NO exact" "m/p bound";
   let rng = Rng.create 1 in
   List.iter
     (fun n ->
       let trials = if n <= 64 then 60 else 30 in
       let yes_g = Family.random_symmetric rng n in
       let no_g = Family.random_asymmetric rng n in
-      let yes = Stats.acceptance ~trials (fun seed -> Sym_dmam.run ~seed yes_g Sym_dmam.honest) in
+      let yes =
+        est ~protocol:"sym_dmam" ~n ~prover:"honest" ~trials (fun seed ->
+            Sym_dmam.run ~seed yes_g Sym_dmam.honest)
+      in
       let no =
-        Stats.acceptance ~trials (fun seed -> Sym_dmam.run ~seed no_g Sym_dmam.adversary_random_perm)
+        est ~protocol:"sym_dmam" ~n ~prover:"random-perm" ~trials (fun seed ->
+            Sym_dmam.run ~seed no_g Sym_dmam.adversary_random_perm)
       in
       let params = Sym_dmam.params_for ~seed:3 no_g in
       let exact =
@@ -41,8 +60,8 @@ let e1 () =
             (Sym_dmam.acceptance_probability_exact params no_g (Perm.random_nonidentity rng n))
         else "-"
       in
-      Printf.printf "%6d | %9.3f %9.3f | %12.1f %12d | %10s %12.5f\n" n (rate_of yes) (rate_of no)
-        yes.Stats.mean_bits
+      Printf.printf "%6d | %9.3f %15s %9.3f %15s | %12.1f %12d | %10s %12.5f\n" n (rate_of yes)
+        (ci yes) (rate_of no) (ci no) yes.Engine.mean_bits
         ((16 * Bits.ceil_log2 n) + 28)
         exact
         (Ids_hash.Linear.collision_bound ~n ~p:params.Sym_dmam.p))
@@ -53,7 +72,8 @@ let e1 () =
 
 let e2 () =
   header "E2  Theorem 1.3: Sym in dAM[O(n log n)]  (Protocol 2, bignum prime ~ n^(n+2))";
-  Printf.printf "%6s | %9s %9s | %12s %12s | %12s\n" "n" "YES acc" "NO acc" "bits/node" "~6nlogn" "p bits";
+  Printf.printf "%6s | %9s %15s %9s %15s | %12s %12s | %12s\n" "n" "YES acc" "YES 95% CI" "NO acc"
+    "NO 95% CI" "bits/node" "~6nlogn" "p bits";
   let rng = Rng.create 2 in
   List.iter
     (fun n ->
@@ -61,14 +81,17 @@ let e2 () =
       let yes_g = Family.random_symmetric rng n in
       let no_g = Family.random_asymmetric rng n in
       let params = Sym_dam.params_for ~seed:5 yes_g in
-      let yes = Stats.acceptance ~trials (fun seed -> Sym_dam.run ~params ~seed yes_g Sym_dam.honest) in
+      let yes =
+        est ~protocol:"sym_dam" ~n ~prover:"honest" ~trials (fun seed ->
+            Sym_dam.run ~params ~seed yes_g Sym_dam.honest)
+      in
       let no_params = Sym_dam.params_for ~seed:5 no_g in
       let no =
-        Stats.acceptance ~trials (fun seed ->
+        est ~protocol:"sym_dam" ~n ~prover:"search" ~trials (fun seed ->
             Sym_dam.run ~params:no_params ~seed no_g Sym_dam.adversary_search)
       in
-      Printf.printf "%6d | %9.3f %9.3f | %12.1f %12d | %12d\n" n (rate_of yes) (rate_of no)
-        yes.Stats.mean_bits
+      Printf.printf "%6d | %9.3f %15s %9.3f %15s | %12.1f %12d | %12d\n" n (rate_of yes) (ci yes)
+        (rate_of no) (ci no) yes.Engine.mean_bits
         (6 * n * Bits.ceil_log2 n)
         (Ids_bignum.Nat.bit_length params.Sym_dam.p))
     [ 6; 8; 12; 16; 20 ];
@@ -87,17 +110,20 @@ let e3 () =
       let f = Family.random_asymmetric rng n in
       let inst = Dsym.make_instance ~n ~r (Family.dsym_graph f r) in
       let trials = if n <= 64 then 40 else 20 in
-      let yes = Stats.acceptance ~trials (fun seed -> Dsym.run ~seed inst Dsym.honest) in
+      let yes = est ~protocol:"dsym" ~n ~prover:"honest" ~trials (fun seed -> Dsym.run ~seed inst Dsym.honest) in
       let no =
-        Stats.acceptance ~trials (fun seed ->
-            let bad = Dsym.make_instance ~n ~r (Family.dsym_perturbed rng f r) in
+        (* The perturbed instance is derived from the trial seed, never from
+           a shared rng: trial functions must be pure in their seed for the
+           parallel engine to be deterministic. *)
+        est ~protocol:"dsym" ~n ~prover:"consistent" ~trials (fun seed ->
+            let bad = Dsym.make_instance ~n ~r (Family.dsym_perturbed (Rng.create (31 + seed)) f r) in
             Dsym.run ~seed bad Dsym.adversary_consistent)
       in
       let lcp = Pls.Lcp_sym.advice_bits (Family.dsym_graph f r) in
       Printf.printf "%6d %9d | %13d %13.0f %8.0fx | %9.3f %9.3f\n" n
         ((2 * n) + (2 * r) + 1)
-        lcp yes.Stats.mean_bits
-        (float_of_int lcp /. yes.Stats.mean_bits)
+        lcp yes.Engine.mean_bits
+        (float_of_int lcp /. yes.Engine.mean_bits)
         (rate_of yes) (rate_of no))
     [ 8; 16; 32; 64; 128 ];
   print_endline "\nShape: the ratio column grows ~ n^2/log n — the exponential separation in proof size."
@@ -166,23 +192,31 @@ let e5 () =
       let params = Gni.params_for ~seed:7 yes in
       let reps = if n <= 6 then 400 else 250 in
       let yes_est =
-        Stats.acceptance ~trials:reps (fun seed -> Gni.run_single ~params ~seed yes Gni.honest)
+        est ~protocol:"gni_single" ~n ~prover:"honest-yes" ~trials:reps (fun seed ->
+            Gni.run_single ~params ~seed yes Gni.honest)
       in
       let no_est =
-        Stats.acceptance ~trials:reps (fun seed -> Gni.run_single ~params ~seed no Gni.honest)
+        est ~protocol:"gni_single" ~n ~prover:"honest-no" ~trials:reps (fun seed ->
+            Gni.run_single ~params ~seed no Gni.honest)
       in
       Printf.printf "%3d | %9.3f %9.3f | %9.3f %9.3f | %12.0f %9d\n" n (rate_of yes_est)
-        (Gni.yes_rate_bound params) (rate_of no_est) (Gni.no_rate_bound params) yes_est.Stats.mean_bits
+        (Gni.yes_rate_bound params) (rate_of no_est) (Gni.no_rate_bound params) yes_est.Engine.mean_bits
         params.Gni.q)
     [ 6; 7 ];
   print_endline "\nFull amplified protocol (t = 400 repetitions, per-node counting):";
   let yes = Gni.yes_instance rng 6 and no = Gni.no_instance rng 6 in
   let params = Gni.params_for ~repetitions:400 ~seed:8 yes in
-  let yes_full = Stats.acceptance ~trials:3 (fun seed -> Gni.run ~params ~seed yes Gni.honest) in
-  let no_full = Stats.acceptance ~trials:3 (fun seed -> Gni.run ~params ~seed no Gni.honest) in
+  let yes_full =
+    est ~protocol:"gni_full_run" ~n:6 ~prover:"honest-yes" ~trials:3 (fun seed ->
+        Gni.run ~params ~seed yes Gni.honest)
+  in
+  let no_full =
+    est ~protocol:"gni_full_run" ~n:6 ~prover:"honest-no" ~trials:3 (fun seed ->
+        Gni.run ~params ~seed no Gni.honest)
+  in
   Printf.printf "  YES verdicts: %d/%d accept (need > 2/3)    NO verdicts: %d/%d accept (need < 1/3)\n"
-    yes_full.Stats.accepts yes_full.Stats.trials no_full.Stats.accepts no_full.Stats.trials;
-  Printf.printf "  total bits/node: %.0f (= t x O(n log n); threshold %d/%d)\n" yes_full.Stats.mean_bits
+    yes_full.Engine.accepts yes_full.Engine.trials no_full.Engine.accepts no_full.Engine.trials;
+  Printf.printf "  total bits/node: %.0f (= t x O(n log n); threshold %d/%d)\n" yes_full.Engine.mean_bits
     params.Gni.threshold params.Gni.repetitions
 
 (* --- E6: Theorem 3.2 — the linear hash family ------------------------------------- *)
@@ -256,40 +290,72 @@ let e7 () =
 
 let e8 () =
   header "E8  Definition 2: acceptance thresholds (YES > 2/3, NO < 1/3) for every protocol";
-  Printf.printf "%-28s | %12s | %12s | %s\n" "protocol" "YES accept" "NO accept" "adversary";
+  Printf.printf "%-28s | %12s %15s | %12s %15s | %s\n" "protocol" "YES accept" "95% CI" "NO accept"
+    "95% CI" "adversary";
   let rng = Rng.create 8 in
   let yes_g = Family.random_symmetric rng 16 and no_g = Family.random_asymmetric rng 16 in
-  let yes = Stats.acceptance ~trials:80 (fun seed -> Sym_dmam.run ~seed yes_g Sym_dmam.honest) in
-  let no =
-    Stats.acceptance ~trials:80 (fun seed -> Sym_dmam.run ~seed no_g Sym_dmam.adversary_random_perm)
+  let row name yes no adversary =
+    Printf.printf "%-28s | %12.3f %15s | %12.3f %15s | %s\n" name (rate_of yes) (ci yes) (rate_of no)
+      (ci no) adversary
   in
-  Printf.printf "%-28s | %12.3f | %12.3f | %s\n" "Sym dMAM (Protocol 1)" (rate_of yes) (rate_of no)
-    "random non-identity perm";
-  let yes2 = Stats.acceptance ~trials:20 (fun seed -> Sym_dam.run ~seed yes_g Sym_dam.honest) in
-  let no2 = Stats.acceptance ~trials:20 (fun seed -> Sym_dam.run ~seed no_g Sym_dam.adversary_search) in
-  Printf.printf "%-28s | %12.3f | %12.3f | %s\n" "Sym dAM (Protocol 2)" (rate_of yes2) (rate_of no2)
-    "post-challenge search";
+  let yes =
+    est ~protocol:"sym_dmam" ~n:16 ~prover:"honest" ~trials:80 (fun seed ->
+        Sym_dmam.run ~seed yes_g Sym_dmam.honest)
+  in
+  let no =
+    est ~protocol:"sym_dmam" ~n:16 ~prover:"random-perm" ~trials:80 (fun seed ->
+        Sym_dmam.run ~seed no_g Sym_dmam.adversary_random_perm)
+  in
+  row "Sym dMAM (Protocol 1)" yes no "random non-identity perm";
+  let yes2 =
+    est ~protocol:"sym_dam" ~n:16 ~prover:"honest" ~trials:20 (fun seed ->
+        Sym_dam.run ~seed yes_g Sym_dam.honest)
+  in
+  let no2 =
+    est ~protocol:"sym_dam" ~n:16 ~prover:"search" ~trials:20 (fun seed ->
+        Sym_dam.run ~seed no_g Sym_dam.adversary_search)
+  in
+  row "Sym dAM (Protocol 2)" yes2 no2 "post-challenge search";
   let f = Family.random_asymmetric rng 8 in
   let inst = Dsym.make_instance ~n:8 ~r:2 (Family.dsym_graph f 2) in
-  let yes3 = Stats.acceptance ~trials:60 (fun seed -> Dsym.run ~seed inst Dsym.honest) in
+  let yes3 =
+    est ~protocol:"dsym" ~n:8 ~prover:"honest" ~trials:60 (fun seed -> Dsym.run ~seed inst Dsym.honest)
+  in
   let no3 =
-    Stats.acceptance ~trials:60 (fun seed ->
-        let bad = Dsym.make_instance ~n:8 ~r:2 (Family.dsym_perturbed rng f 2) in
+    est ~protocol:"dsym" ~n:8 ~prover:"consistent" ~trials:60 (fun seed ->
+        let bad = Dsym.make_instance ~n:8 ~r:2 (Family.dsym_perturbed (Rng.create (83 + seed)) f 2) in
         Dsym.run ~seed bad Dsym.adversary_consistent)
   in
-  Printf.printf "%-28s | %12.3f | %12.3f | %s\n" "DSym dAM" (rate_of yes3) (rate_of no3)
-    "consistent play on NO";
+  row "DSym dAM" yes3 no3 "consistent play on NO";
   let gy = Gni.yes_instance rng 6 and gn = Gni.no_instance rng 6 in
   let params = Gni.params_for ~repetitions:400 ~seed:9 gy in
-  let yes4 = Stats.acceptance ~trials:3 (fun seed -> Gni.run ~params ~seed gy Gni.honest) in
-  let no4 = Stats.acceptance ~trials:3 (fun seed -> Gni.run ~params ~seed gn Gni.honest) in
-  Printf.printf "%-28s | %12.3f | %12.3f | %s\n" "GNI dAMAM (amplified)" (rate_of yes4) (rate_of no4)
-    "optimal preimage search";
+  let yes4 =
+    est ~protocol:"gni" ~n:6 ~prover:"honest-yes" ~trials:3 (fun seed -> Gni.run ~params ~seed gy Gni.honest)
+  in
+  let no4 =
+    est ~protocol:"gni" ~n:6 ~prover:"honest-no" ~trials:3 (fun seed -> Gni.run ~params ~seed gn Gni.honest)
+  in
+  row "GNI dAMAM (amplified)" yes4 no4 "optimal preimage search";
   let adv = Option.get (Pls.Lcp_sym.honest yes_g) in
-  Printf.printf "%-28s | %12.3f | %12.3f | %s\n" "Sym LCP (distributed NP)"
+  Printf.printf "%-28s | %12.3f %15s | %12.3f %15s | %s\n" "Sym LCP (distributed NP)"
     (if (Pls.Lcp_sym.verify yes_g adv).Pls.accepted then 1.0 else 0.0)
+    "(determ.)"
     (match Pls.Lcp_sym.honest no_g with Some _ -> 1.0 | None -> 0.0)
-    "no witness exists"
+    "(determ.)" "no witness exists";
+  print_endline "\nSPRT early stopping (alpha = beta = 1e-3) on the same threshold questions:";
+  let sprt name ~prover run =
+    let e, d = Stats.threshold_ci ~max_trials:(scaled 400) run in
+    Runlog.log ~protocol:"sym_dmam_sprt" ~n:16 ~prover e;
+    Printf.printf "  %-24s: decided %s after %d trials (rate %.3f, budget %d)\n" name
+      (match d with
+      | Some Ids_engine.Sprt.Above -> "rate >= 2/3"
+      | Some Ids_engine.Sprt.Below -> "rate <= 1/3"
+      | None -> "nothing (undecided)")
+      e.Engine.trials e.Engine.rate (scaled 400)
+  in
+  sprt "Protocol 1, YES instance" ~prover:"honest" (fun seed -> Sym_dmam.run ~seed yes_g Sym_dmam.honest);
+  sprt "Protocol 1, NO instance" ~prover:"random-perm" (fun seed ->
+      Sym_dmam.run ~seed no_g Sym_dmam.adversary_random_perm)
 
 (* --- E9: unrestricted GNI (automorphism compensation) ------------------------------- *)
 
@@ -304,7 +370,9 @@ let e9 () =
     (Array.length (Lazy.force no.Gni_full.candidates));
   let params = Gni_full.params_for ~seed:7 yes in
   let rate inst prover =
-    (Stats.acceptance ~trials:300 (fun seed -> Gni_full.run_single ~params ~seed inst prover)).Stats.rate
+    (est ~protocol:"gni_full" ~n:6 ~prover:"varied" ~trials:300 (fun seed ->
+         Gni_full.run_single ~params ~seed inst prover))
+      .Engine.rate
   in
   Printf.printf "single-rep rates: YES %.3f (bound >= %.3f)   NO %.3f (bound <= %.3f)\n"
     (rate yes Gni_full.honest) params.Gni_full.yes_bound (rate no Gni_full.honest)
@@ -369,8 +437,9 @@ let e11 () =
     (Array.length (Lazy.force no.Gni_induced.candidates));
   let params = Gni_induced.params_for ~seed:3 yes in
   let rate inst =
-    (Stats.acceptance ~trials:250 (fun seed -> Gni_induced.run_single ~params ~seed inst Gni_induced.honest))
-      .Stats.rate
+    (est ~protocol:"gni_induced" ~n:10 ~prover:"honest" ~trials:250 (fun seed ->
+         Gni_induced.run_single ~params ~seed inst Gni_induced.honest))
+      .Engine.rate
   in
   Printf.printf "single-rep rates: YES %.3f (bound >= %.3f)   NO %.3f (bound <= %.3f)\n"
     (rate yes) params.Gni_induced.yes_bound (rate no) params.Gni_induced.no_bound;
@@ -492,8 +561,14 @@ let experiments =
     ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12) ]
 
 let () =
+  (* Every estimate printed above is also appended, one JSON object per
+     line, to the machine-readable run log (IDS_RUNLOG overrides the path;
+     IDS_RUNLOG="" disables). *)
+  Runlog.open_from_env ~default:"ids_runs.jsonl" ();
+  Printf.printf "engine: %d domain(s) (IDS_DOMAINS), trial scale x%d (IDS_TRIALS_SCALE)\n"
+    (Engine.default_domains ()) (scaled 1);
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (match args with
   | [] ->
     List.iter (fun (_, f) -> f ()) experiments;
     timing ()
@@ -505,4 +580,5 @@ let () =
         match List.assoc_opt (String.lowercase_ascii name) experiments with
         | Some f -> f ()
         | None -> Printf.eprintf "unknown experiment %S (e1..e12, tables, timing)\n" name)
-      names
+      names);
+  Runlog.close ()

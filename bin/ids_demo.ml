@@ -24,9 +24,12 @@ let report outcome =
   Printf.printf "response bits: %d (max)\n" outcome.Outcome.max_response_bits;
   Printf.printf "total bits   : %d\n" outcome.Outcome.total_bits
 
-let report_estimate what est =
-  Printf.printf "%s: %d/%d accepted (rate %.3f), mean %.1f bits/node\n" what est.Stats.accepts
-    est.Stats.trials est.Stats.rate est.Stats.mean_bits
+module Engine = Ids_engine.Engine
+
+let report_estimate what (est : Engine.estimate) =
+  Printf.printf "%s: %d/%d accepted (rate %.3f, 95%% CI [%.3f, %.3f]), mean %.1f bits/node, %d domain(s)\n"
+    what est.Engine.accepts est.Engine.trials est.Engine.rate est.Engine.ci_low est.Engine.ci_high
+    est.Engine.mean_bits est.Engine.domains
 
 (* Common options. *)
 let seed_t =
@@ -66,7 +69,7 @@ let sym_cmd =
       | other -> failwith (Printf.sprintf "unknown prover %S" other)
     in
     if trials > 0 then
-      report_estimate "acceptance" (Stats.acceptance ~trials (fun s -> Sym_dmam.run ~seed:s g prover))
+      report_estimate "acceptance" (Stats.acceptance_ci ~trials (fun s -> Sym_dmam.run ~seed:s g prover))
     else report (Sym_dmam.run ~seed g prover)
   in
   let doc = "Protocol 1: dMAM[O(log n)] for Graph Symmetry (Theorem 1.1)." in
@@ -86,7 +89,7 @@ let sym_dam_cmd =
       (Iso.is_symmetric g)
       (Ids_bignum.Nat.bit_length (Sym_dam.params_for ~seed g).Sym_dam.p);
     if trials > 0 then
-      report_estimate "acceptance" (Stats.acceptance ~trials (fun s -> Sym_dam.run ~seed:s g prover))
+      report_estimate "acceptance" (Stats.acceptance_ci ~trials (fun s -> Sym_dam.run ~seed:s g prover))
     else report (Sym_dam.run ~seed g prover)
   in
   let doc = "Protocol 2: dAM[O(n log n)] for Graph Symmetry (Theorem 1.3)." in
@@ -105,7 +108,7 @@ let dsym_cmd =
     Printf.printf "instance: %d vertices, DSym member = %b\n" (Graph.n g) (Family.is_dsym_member ~n ~r g);
     let prover = if perturb then Dsym.adversary_consistent else Dsym.honest in
     if trials > 0 then
-      report_estimate "acceptance" (Stats.acceptance ~trials (fun s -> Dsym.run ~seed:s inst prover))
+      report_estimate "acceptance" (Stats.acceptance_ci ~trials (fun s -> Dsym.run ~seed:s inst prover))
     else report (Dsym.run ~seed inst prover)
   in
   let doc = "The dAM[O(log n)] protocol for Dumbbell Symmetry (Theorem 1.2)." in
@@ -133,7 +136,7 @@ let gni_cmd =
       params.Gni.copies params.Gni.repetitions params.Gni.threshold (Gni.yes_rate_bound params)
       (Gni.no_rate_bound params);
     let exec s = if single then Gni.run_single ~params ~seed:s inst Gni.honest else Gni.run ~params ~seed:s inst Gni.honest in
-    if trials > 0 then report_estimate "acceptance" (Stats.acceptance ~trials exec)
+    if trials > 0 then report_estimate "acceptance" (Stats.acceptance_ci ~trials exec)
     else report (exec seed)
   in
   let doc = "The dAMAM[O(n log n)] Goldwasser-Sipser protocol for GNI (Theorem 1.5)." in
@@ -158,7 +161,7 @@ let gni_full_cmd =
       (Iso.are_isomorphic inst.Gni_full.g0 inst.Gni_full.g1)
       (Array.length (Lazy.force inst.Gni_full.candidates));
     let exec s = Gni_full.run ~params ~seed:s inst Gni_full.honest in
-    if trials > 0 then report_estimate "acceptance" (Stats.acceptance ~trials exec)
+    if trials > 0 then report_estimate "acceptance" (Stats.acceptance_ci ~trials exec)
     else report (exec seed)
   in
   let doc = "Unrestricted GNI (automorphism compensation) — works on symmetric graphs." in
@@ -185,7 +188,7 @@ let gni_induced_cmd =
       (Iso.are_isomorphic inst.Gni_induced.h0 inst.Gni_induced.h1)
       (Array.length (Lazy.force inst.Gni_induced.candidates));
     let exec s = Gni_induced.run ~params ~seed:s inst Gni_induced.honest in
-    if trials > 0 then report_estimate "acceptance" (Stats.acceptance ~trials exec)
+    if trials > 0 then report_estimate "acceptance" (Stats.acceptance_ci ~trials exec)
     else report (exec seed)
   in
   let doc = "Marked-subgraph GNI (Section 2.3): induced 0-class vs 1-class subgraphs." in

@@ -54,4 +54,21 @@ let () =
   in
   let v = Pls.Tree.verify g corrupt in
   Printf.printf "all distances shifted by one: %s\n"
-    (if v.Pls.accepted then "verified (BAD)" else "caught by the local checks")
+    (if v.Pls.accepted then "verified (BAD)" else "caught by the local checks");
+
+  (* Detection rate over random single-label corruptions, estimated with the
+     parallel trial engine directly (the trial is a local verification, not a
+     prover exchange, so it bypasses Stats/Outcome). *)
+  let module Engine = Ids_engine.Engine in
+  let module Accum = Ids_engine.Accum in
+  let est =
+    Engine.run ~trials:500 (fun seed ->
+        let r = Rng.create (1000 + seed) in
+        let corrupt = { advice with Pls.Tree.dist = Array.copy advice.Pls.Tree.dist } in
+        let victim = Rng.int r (Graph.n g) in
+        corrupt.Pls.Tree.dist.(victim) <- corrupt.Pls.Tree.dist.(victim) + 1 + Rng.int r 5;
+        let verdict = Pls.Tree.verify g corrupt in
+        { Accum.accepted = not verdict.Pls.accepted; bits = verdict.Pls.advice_bits_per_node })
+  in
+  Printf.printf "\nrandom single-distance corruptions caught: %d/%d (rate %.3f, 95%% CI [%.3f, %.3f])\n"
+    est.Engine.accepts est.Engine.trials est.Engine.rate est.Engine.ci_low est.Engine.ci_high

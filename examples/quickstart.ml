@@ -38,10 +38,13 @@ let () =
   let a = Family.random_asymmetric (Ids_bignum.Rng.create 7) 10 in
   describe "asymmetric network" a;
   let est =
-    Stats.acceptance ~trials:200 (fun seed -> Sym_dmam.run ~seed a Sym_dmam.adversary_random_perm)
+    Stats.acceptance_ci ~trials:200 (fun seed -> Sym_dmam.run ~seed a Sym_dmam.adversary_random_perm)
   in
-  Printf.printf "cheating prover accepted %d/%d times (soundness error <= 1/3 required; bound %.4f)\n"
-    est.Stats.accepts est.Stats.trials
+  let module Engine = Ids_engine.Engine in
+  Printf.printf
+    "cheating prover accepted %d/%d times, 95%% CI [%.3f, %.3f]\n\
+     (soundness error <= 1/3 required; collision bound %.4f)\n"
+    est.Engine.accepts est.Engine.trials est.Engine.ci_low est.Engine.ci_high
     (Ids_hash.Linear.collision_bound ~n:10 ~p:(Sym_dmam.params_for ~seed:1 a).Sym_dmam.p);
 
   (* Compare against "distributed NP": the locally checkable proof needs the

@@ -42,4 +42,27 @@ let () =
   print_endline "";
   print_endline "The LCP column grows quadratically; the dAM column logarithmically —";
   print_endline "the exponential separation of Theorem 1.2. The packing floor is the";
-  print_endline "Omega(log log n) lower bound of Theorem 1.4 (for Sym on dumbbells)."
+  print_endline "Omega(log log n) lower bound of Theorem 1.4 (for Sym on dumbbells).";
+
+  (* Definition 2's thresholds, settled with as few trials as the evidence
+     allows: the SPRT engine stops as soon as "rate >= 2/3" or "rate <= 1/3"
+     is decided at error level 1e-3. *)
+  print_endline "\nDefinition 2 check for n = 16 (SPRT early stopping, alpha = beta = 1e-3):";
+  let module Engine = Ids_engine.Engine in
+  let module Sprt = Ids_engine.Sprt in
+  let f = Family.random_asymmetric rng 16 in
+  let inst = Dsym.make_instance ~n:16 ~r:2 (Family.dsym_graph f 2) in
+  let describe side run =
+    let e, d = Stats.threshold_ci ~max_trials:400 run in
+    Printf.printf "  %s instance: %s after %d/400 trials (rate %.3f, 95%% CI [%.3f, %.3f])\n" side
+      (match d with
+      | Some Sprt.Above -> "rate >= 2/3 decided"
+      | Some Sprt.Below -> "rate <= 1/3 decided"
+      | None -> "undecided")
+      e.Engine.trials e.Engine.rate e.Engine.ci_low e.Engine.ci_high
+  in
+  describe "YES" (fun seed -> Dsym.run ~seed inst Dsym.honest);
+  describe "NO" (fun seed ->
+      (* per-seed perturbation rng: trial functions must be pure in the seed *)
+      let bad = Dsym.make_instance ~n:16 ~r:2 (Family.dsym_perturbed (Rng.create (47 + seed)) f 2) in
+      Dsym.run ~seed bad Dsym.adversary_consistent)

@@ -65,4 +65,16 @@ let () =
   let o = Gni.run ~params ~seed:22 fake Gni.honest in
   Printf.printf "protocol (dAMAM): %s\n"
     (if o.Outcome.accepted then "ACCEPTED (soundness failure!)"
-     else "REJECTED — the devices caught the false claim")
+     else "REJECTED — the devices caught the false claim");
+
+  (* How often would a single repetition of the false claim slip through?
+     Estimated with the parallel engine, with a Wilson interval. *)
+  let module Engine = Ids_engine.Engine in
+  let est =
+    Stats.acceptance_ci ~trials:200 (fun seed -> Gni.run_single ~params ~seed fake Gni.honest)
+  in
+  Printf.printf
+    "per-repetition acceptance of the false claim: %.3f, 95%% CI [%.3f, %.3f]\n\
+     (safely below the %d/%d majority threshold the amplified protocol demands)\n"
+    est.Engine.rate est.Engine.ci_low est.Engine.ci_high params.Gni.threshold
+    params.Gni.repetitions

@@ -52,15 +52,13 @@ let () =
     (if o.Outcome.accepted then "ACCEPT (soundness failure!)" else "REJECT — the copy was caught");
 
   print_endline "\n=== A cheating platform forging the automorphism ===\n";
-  let rate =
-    let hits = ref 0 in
-    for seed = 1 to 100 do
-      let o = Gni_full.run_single ~params ~seed no Gni_full.adversary_fake_automorphism in
-      if o.Outcome.accepted then incr hits
-    done;
-    float_of_int !hits /. 100.
+  let module Engine = Ids_engine.Engine in
+  let est =
+    Stats.acceptance_ci ~trials:100 (fun seed ->
+        Gni_full.run_single ~params ~seed no Gni_full.adversary_fake_automorphism)
   in
   Printf.printf
-    "fake-automorphism adversary per-repetition rate: %.2f (no better than honest --\n\
-     the post-commitment audit hash of the second Arthur round unmasks every forged alpha)\n"
-    rate
+    "fake-automorphism adversary per-repetition rate: %.2f, 95%% CI [%.3f, %.3f]\n\
+     (no better than honest -- the post-commitment audit hash of the second\n\
+     Arthur round unmasks every forged alpha)\n"
+    est.Engine.rate est.Engine.ci_low est.Engine.ci_high

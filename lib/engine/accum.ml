@@ -1,0 +1,26 @@
+type trial = { accepted : bool; bits : int }
+
+type t = { trials : int; accepts : int; bits_sum : int; bits_max : int }
+
+let empty = { trials = 0; accepts = 0; bits_sum = 0; bits_max = 0 }
+
+let add t trial =
+  if trial.bits < 0 then invalid_arg "Accum.add: negative bit cost";
+  { trials = t.trials + 1;
+    accepts = (t.accepts + if trial.accepted then 1 else 0);
+    bits_sum = t.bits_sum + trial.bits;
+    bits_max = (if trial.bits > t.bits_max then trial.bits else t.bits_max)
+  }
+
+let merge a b =
+  { trials = a.trials + b.trials;
+    accepts = a.accepts + b.accepts;
+    bits_sum = a.bits_sum + b.bits_sum;
+    bits_max = (if a.bits_max > b.bits_max then a.bits_max else b.bits_max)
+  }
+
+let equal a b =
+  a.trials = b.trials && a.accepts = b.accepts && a.bits_sum = b.bits_sum && a.bits_max = b.bits_max
+
+let pp fmt t =
+  Format.fprintf fmt "accum(%d/%d, bits sum=%d max=%d)" t.accepts t.trials t.bits_sum t.bits_max

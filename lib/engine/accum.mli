@@ -1,0 +1,29 @@
+(** Per-trial outcomes and their merge-able summary.
+
+    A worker folds the trials of its chunk into a local [t]; chunk summaries
+    are then [merge]d in chunk order. [merge] is associative with [empty] as
+    identity, and folding trials one by one with [add] equals merging any
+    partition of the same trial sequence — the property that makes the
+    parallel engine's results independent of the worker count. *)
+
+type trial = {
+  accepted : bool;
+  bits : int;  (** The run's max-per-node bit cost (non-negative). *)
+}
+
+type t = {
+  trials : int;
+  accepts : int;
+  bits_sum : int;
+  bits_max : int;
+}
+
+val empty : t
+
+val add : t -> trial -> t
+
+val merge : t -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type estimate = {
+  trials : int;
+  accepts : int;
+  rate : float;
+  mean_bits : float;
+  max_bits : int;
+  ci_low : float;
+  ci_high : float;
+  domains : int;
+  stopped_early : bool;
+}
+
+let default_domains () =
+  match Sys.getenv_opt "IDS_DOMAINS" with
+  | Some s -> (match int_of_string_opt (String.trim s) with Some d when d >= 1 -> d | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let scaled_trials ?(default_scale = 1.0) trials =
+  let scale =
+    match Sys.getenv_opt "IDS_TRIALS_SCALE" with
+    | Some s -> (match float_of_string_opt (String.trim s) with Some f when f > 0. -> f | _ -> default_scale)
+    | None -> default_scale
+  in
+  Int.max 1 (int_of_float (Float.ceil (float_of_int trials *. scale)))
+
+let of_accum ?(domains = 1) ?(stopped_early = false) (a : Accum.t) =
+  let trials = a.Accum.trials in
+  let accepts = a.Accum.accepts in
+  let ci_low, ci_high = Wilson.interval ~accepts ~trials () in
+  { trials;
+    accepts;
+    rate = (if trials = 0 then 0. else float_of_int accepts /. float_of_int trials);
+    mean_bits = (if trials = 0 then 0. else float_of_int a.Accum.bits_sum /. float_of_int trials);
+    max_bits = a.Accum.bits_max;
+    ci_low;
+    ci_high;
+    domains;
+    stopped_early
+  }
+
+(* Fold one chunk of the seed range sequentially; a chunk's summary depends
+   only on its seed interval, never on which domain ran it. *)
+let run_chunk ~chunk ~trials f c =
+  let lo = (c * chunk) + 1 in
+  let hi = Int.min trials ((c + 1) * chunk) in
+  let acc = ref Accum.empty in
+  for seed = lo to hi do
+    acc := Accum.add !acc (f seed)
+  done;
+  !acc
+
+let run ?domains ?(chunk = 32) ~trials f =
+  if trials <= 0 then invalid_arg "Engine.run: need positive trials";
+  if chunk <= 0 then invalid_arg "Engine.run: need positive chunk";
+  let domains = match domains with Some d -> Int.max 1 d | None -> default_domains () in
+  let chunks = (trials + chunk - 1) / chunk in
+  let parts = Scheduler.map_range ~domains ~lo:0 ~hi:chunks (run_chunk ~chunk ~trials f) in
+  of_accum ~domains (Array.fold_left Accum.merge Accum.empty parts)
+
+let run_sprt ?domains ?(chunk = 32) ~plan ~max_trials f =
+  if max_trials <= 0 then invalid_arg "Engine.run_sprt: need positive max_trials";
+  if chunk <= 0 then invalid_arg "Engine.run_sprt: need positive chunk";
+  let domains = match domains with Some d -> Int.max 1 d | None -> default_domains () in
+  let chunks = (max_trials + chunk - 1) / chunk in
+  (* Waves of [domains] chunks run in parallel; the boundary is tested on
+     the cumulative prefix after each chunk in order, so the stopping chunk
+     (and hence the estimate) is independent of the wave width. *)
+  let acc = ref Accum.empty in
+  let decision = ref None in
+  let next = ref 0 in
+  while !decision = None && !next < chunks do
+    let wave = Int.min domains (chunks - !next) in
+    let parts =
+      Scheduler.map_range ~domains ~lo:!next ~hi:(!next + wave) (run_chunk ~chunk ~trials:max_trials f)
+    in
+    Array.iter
+      (fun part ->
+        if !decision = None then begin
+          acc := Accum.merge !acc part;
+          decision := Sprt.decide plan !acc
+        end)
+      parts;
+    next := !next + wave
+  done;
+  (of_accum ~domains ~stopped_early:(!decision <> None) !acc, !decision)
+
+let pp fmt e =
+  Format.fprintf fmt "%d/%d accepted (%.3f, 95%% CI [%.3f, %.3f]), %.1f bits/node mean%s" e.accepts
+    e.trials e.rate e.ci_low e.ci_high e.mean_bits
+    (if e.stopped_early then ", stopped early" else "")

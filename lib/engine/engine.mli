@@ -1,0 +1,55 @@
+(** Parallel deterministic Monte Carlo trial engine.
+
+    Estimates acceptance probabilities by running a seeded trial function
+    over the seed range [1 .. trials], partitioned into fixed-size chunks
+    that are farmed out to OCaml 5 domains. Every trial is keyed by its seed
+    alone (the repository-wide splitmix64 discipline), and chunk summaries
+    are reduced in chunk order, so the resulting {!estimate} is bit-identical
+    for every worker count — 1 domain, 2, 4, or however many
+    [Domain.recommended_domain_count] reports. *)
+
+type estimate = {
+  trials : int;  (** Trials actually executed (less than requested iff early-stopped). *)
+  accepts : int;
+  rate : float;
+  mean_bits : float;  (** Mean over trials of the max-per-node bit cost. *)
+  max_bits : int;  (** Maximum over trials of the same. *)
+  ci_low : float;  (** 95% Wilson score interval, lower end. *)
+  ci_high : float;  (** 95% Wilson score interval, upper end. *)
+  domains : int;  (** Worker count that produced this estimate. *)
+  stopped_early : bool;
+}
+
+val default_domains : unit -> int
+(** Worker count: the [IDS_DOMAINS] environment variable if set to a
+    positive integer, else [Domain.recommended_domain_count ()]. *)
+
+val scaled_trials : ?default_scale:float -> int -> int
+(** [scaled_trials trials] multiplies [trials] by the [IDS_TRIALS_SCALE]
+    environment variable (a float; [default_scale], default [1.0], when
+    unset), rounding up, never below 1. Lets one env var dial every
+    experiment's trial budget up (benches) or down ([@runtest-fast]). *)
+
+val of_accum : ?domains:int -> ?stopped_early:bool -> Accum.t -> estimate
+(** Finish an accumulator into an estimate (rate, mean, Wilson CI). *)
+
+val run : ?domains:int -> ?chunk:int -> trials:int -> (int -> Accum.trial) -> estimate
+(** [run ~trials f] executes [f seed] for [seed = 1 .. trials] ([chunk]
+    seeds per work item, default 32) on [domains] workers (default
+    {!default_domains}). Requires [trials > 0]. *)
+
+val run_sprt :
+  ?domains:int ->
+  ?chunk:int ->
+  plan:Sprt.plan ->
+  max_trials:int ->
+  (int -> Accum.trial) ->
+  estimate * Sprt.decision option
+(** [run_sprt ~plan ~max_trials f] runs trials in chunk order, testing the
+    SPRT boundary after every chunk, and stops at the first chunk whose
+    cumulative prefix crosses it (or at [max_trials], returning [None]).
+    The stopping point is a function of the chunk-ordered trial prefix only,
+    so decision and estimate are identical for every worker count; extra
+    workers merely evaluate some post-decision chunks speculatively. *)
+
+val pp : Format.formatter -> estimate -> unit

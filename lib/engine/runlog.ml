@@ -1,0 +1,60 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ~protocol ~n ~prover (e : Engine.estimate) =
+  Printf.sprintf
+    "{\"protocol\":\"%s\",\"n\":%d,\"prover\":\"%s\",\"trials\":%d,\"accepts\":%d,\"rate\":%.6g,\"ci_low\":%.6g,\"ci_high\":%.6g,\"mean_bits\":%.6g,\"max_bits\":%d,\"domains\":%d,\"stopped_early\":%b}"
+    (escape protocol) n (escape prover) e.Engine.trials e.Engine.accepts e.Engine.rate
+    e.Engine.ci_low e.Engine.ci_high e.Engine.mean_bits e.Engine.max_bits e.Engine.domains
+    e.Engine.stopped_early
+
+(* The sink is process-global; [owned] distinguishes channels this module
+   opened (and must close) from externally supplied ones. *)
+let sink : out_channel option ref = ref None
+let owned = ref false
+
+let close () =
+  (match !sink with
+  | Some oc ->
+    flush oc;
+    if !owned then close_out_noerr oc
+  | None -> ());
+  sink := None;
+  owned := false
+
+let set_sink oc =
+  close ();
+  sink := oc
+
+let open_from_env ?default () =
+  let path = match Sys.getenv_opt "IDS_RUNLOG" with Some p -> Some p | None -> default in
+  match path with
+  | None | Some "" -> close ()
+  | Some path -> (
+    close ();
+    match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+    | oc ->
+      sink := Some oc;
+      owned := true
+    | exception Sys_error msg ->
+      (* An unwritable log path shouldn't abort a long benchmark run. *)
+      Printf.eprintf "warning: run log disabled (%s)\n%!" msg)
+
+let log ~protocol ~n ~prover e =
+  match !sink with
+  | None -> ()
+  | Some oc ->
+    output_string oc (to_json ~protocol ~n ~prover e);
+    output_char oc '\n';
+    flush oc

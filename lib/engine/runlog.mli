@@ -1,0 +1,30 @@
+(** Machine-readable run log: one JSON line per estimate.
+
+    The bench harness records every estimate it prints, so downstream
+    tooling (plots, regression tracking across commits) can consume the
+    experiment tables without scraping stdout. Line format:
+
+    {v
+    {"protocol":"sym_dmam","n":16,"prover":"honest","trials":240,
+     "accepts":240,"rate":1.0,"ci_low":0.98413,"ci_high":1.0,
+     "mean_bits":87.1,"max_bits":92,"domains":4,"stopped_early":false}
+    v} *)
+
+val to_json : protocol:string -> n:int -> prover:string -> Engine.estimate -> string
+(** The JSON object for one estimate (a single line, no trailing newline). *)
+
+val set_sink : out_channel option -> unit
+(** Route subsequent {!log} calls to the given channel (or drop them). *)
+
+val open_from_env : ?default:string -> unit -> unit
+(** Open the sink named by the [IDS_RUNLOG] environment variable (appending),
+    falling back to [default] when the variable is unset; an empty value
+    disables logging. No default and no variable means no sink. An
+    unwritable path prints a warning on stderr and disables logging rather
+    than aborting the run. *)
+
+val log : protocol:string -> n:int -> prover:string -> Engine.estimate -> unit
+(** Append one JSON line to the sink, if any (no-op otherwise). *)
+
+val close : unit -> unit
+(** Flush and close the current sink, if it was opened by this module. *)

@@ -1,0 +1,36 @@
+let map_range ~domains ~lo ~hi f =
+  let n = hi - lo in
+  if n <= 0 then [||]
+  else begin
+    let workers = Int.min (Int.max 1 domains) n in
+    if workers = 1 then Array.init n (fun i -> f (lo + i))
+    else begin
+      (* Dynamic index hand-out: each worker repeatedly claims the next
+         unclaimed index. Every slot is written by exactly one domain, and
+         all writes happen before the joins, so reading the array afterwards
+         is race-free. *)
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (f (lo + i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      let caller_exn = (try worker (); None with e -> Some e) in
+      let spawned_exn =
+        Array.fold_left
+          (fun acc d -> match (try Domain.join d; None with e -> Some e) with Some _ as e when acc = None -> e | _ -> acc)
+          None spawned
+      in
+      (match (caller_exn, spawned_exn) with
+      | Some e, _ | None, Some e -> raise e
+      | None, None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+  end

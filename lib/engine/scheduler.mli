@@ -1,0 +1,14 @@
+(** Deterministic work scheduling across OCaml 5 domains.
+
+    Work items are identified by an integer index; which worker evaluates an
+    index is arbitrary (an atomic counter hands out indices dynamically) but
+    results land in an array slot determined by the index alone, so the
+    returned array is identical for every worker count — provided [f] itself
+    depends only on its index (the engine guarantees this by keying every
+    trial on its seed, never on domain identity). *)
+
+val map_range : domains:int -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+(** [map_range ~domains ~lo ~hi f] is [[| f lo; f (lo+1); ...; f (hi-1) |]],
+    evaluated by up to [domains] domains (the calling domain participates;
+    [domains <= 1] runs entirely in the caller without spawning). An
+    exception raised by any [f] is re-raised after all domains are joined. *)

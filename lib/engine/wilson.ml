@@ -1,0 +1,20 @@
+let z95 = 1.96
+let z99 = 2.576
+
+let interval ?(z = z95) ~accepts ~trials () =
+  if accepts < 0 || trials < 0 || accepts > trials then
+    invalid_arg "Wilson.interval: need 0 <= accepts <= trials";
+  if trials = 0 then (0., 1.)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int accepts /. n in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. n) in
+    let center = p +. (z2 /. (2. *. n)) in
+    let half = z *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) in
+    (Float.max 0. ((center -. half) /. denom), Float.min 1. ((center +. half) /. denom))
+  end
+
+let width ?z ~accepts ~trials () =
+  let lo, hi = interval ?z ~accepts ~trials () in
+  hi -. lo

@@ -7,11 +7,11 @@ let create n =
 let n t = Array.length t.to_prover
 
 let charge_to_prover t v bits =
-  assert (bits >= 0);
+  if bits < 0 then invalid_arg "Cost.charge_to_prover: negative bits";
   t.to_prover.(v) <- t.to_prover.(v) + bits
 
 let charge_from_prover t v bits =
-  assert (bits >= 0);
+  if bits < 0 then invalid_arg "Cost.charge_from_prover: negative bits";
   t.from_prover.(v) <- t.from_prover.(v) + bits
 
 let charge_all_from_prover t bits =

@@ -14,10 +14,12 @@ val create : int -> t
 val n : t -> int
 
 val charge_to_prover : t -> int -> int -> unit
-(** [charge_to_prover c v bits] records [bits] sent by node [v]. *)
+(** [charge_to_prover c v bits] records [bits] sent by node [v].
+    Raises [Invalid_argument] if [bits < 0]. *)
 
 val charge_from_prover : t -> int -> int -> unit
-(** [charge_from_prover c v bits] records [bits] received by node [v]. *)
+(** [charge_from_prover c v bits] records [bits] received by node [v].
+    Raises [Invalid_argument] if [bits < 0]. *)
 
 val charge_all_from_prover : t -> int -> unit
 (** Charge the same number of received bits to every node (broadcast). *)

@@ -1,20 +1,28 @@
+module Engine = Ids_engine.Engine
+module Accum = Ids_engine.Accum
+
 type estimate = { trials : int; accepts : int; rate : float; mean_bits : float; max_bits : int }
 
-let acceptance ~trials run =
+let trial_of_outcome (o : Outcome.t) =
+  { Accum.accepted = o.Outcome.accepted; bits = o.Outcome.max_bits_per_node }
+
+let acceptance_ci ?domains ~trials run =
   if trials <= 0 then invalid_arg "Stats.acceptance: need positive trials";
-  let accepts = ref 0 and bits_sum = ref 0 and bits_max = ref 0 in
-  for seed = 1 to trials do
-    let o = run seed in
-    if o.Outcome.accepted then incr accepts;
-    bits_sum := !bits_sum + o.Outcome.max_bits_per_node;
-    if o.Outcome.max_bits_per_node > !bits_max then bits_max := o.Outcome.max_bits_per_node
-  done;
-  { trials;
-    accepts = !accepts;
-    rate = float_of_int !accepts /. float_of_int trials;
-    mean_bits = float_of_int !bits_sum /. float_of_int trials;
-    max_bits = !bits_max
+  Engine.run ?domains ~trials (fun seed -> trial_of_outcome (run seed))
+
+let of_engine (e : Engine.estimate) =
+  { trials = e.Engine.trials;
+    accepts = e.Engine.accepts;
+    rate = e.Engine.rate;
+    mean_bits = e.Engine.mean_bits;
+    max_bits = e.Engine.max_bits
   }
+
+let acceptance ~trials run = of_engine (acceptance_ci ~domains:1 ~trials run)
+
+let threshold_ci ?domains ?plan ~max_trials run =
+  let plan = match plan with Some p -> p | None -> Ids_engine.Sprt.definition2 () in
+  Engine.run_sprt ?domains ~plan ~max_trials (fun seed -> trial_of_outcome (run seed))
 
 let pp fmt e =
   Format.fprintf fmt "%d/%d accepted (%.3f), %.1f bits/node mean" e.accepts e.trials e.rate e.mean_bits

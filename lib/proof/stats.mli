@@ -2,7 +2,11 @@
 
     Definition 2's correctness thresholds (2/3 for YES instances, 1/3 for NO
     instances) are probabilities over Arthur's coins; the experiments
-    estimate them by running a protocol many times with fresh seeds. *)
+    estimate them by running a protocol many times with fresh seeds.
+
+    Estimation is delegated to the parallel deterministic engine
+    ({!Ids_engine.Engine}): trials are keyed by seed, so every entry point
+    here returns bit-identical results for any worker count. *)
 
 type estimate = {
   trials : int;
@@ -13,6 +17,26 @@ type estimate = {
 }
 
 val acceptance : trials:int -> (int -> Outcome.t) -> estimate
-(** [acceptance ~trials run] executes [run seed] for [seed = 1 .. trials]. *)
+(** [acceptance ~trials run] executes [run seed] for [seed = 1 .. trials].
+    Sequential-compatible shim over the engine (single worker): the result
+    is identical to what the historical sequential loop produced. *)
+
+val acceptance_ci :
+  ?domains:int -> trials:int -> (int -> Outcome.t) -> Ids_engine.Engine.estimate
+(** Like {!acceptance} but parallel (default worker count
+    {!Ids_engine.Engine.default_domains}) and with Wilson confidence
+    intervals in the richer engine estimate. *)
+
+val threshold_ci :
+  ?domains:int ->
+  ?plan:Ids_engine.Sprt.plan ->
+  max_trials:int ->
+  (int -> Outcome.t) ->
+  Ids_engine.Engine.estimate * Ids_engine.Sprt.decision option
+(** Sequential-probability-ratio early stopping for Definition 2 threshold
+    questions (default plan {!Ids_engine.Sprt.definition2}): stops as soon
+    as the evidence decides "rate >= 2/3" vs "rate <= 1/3". *)
+
+val of_engine : Ids_engine.Engine.estimate -> estimate
 
 val pp : Format.formatter -> estimate -> unit

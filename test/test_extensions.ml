@@ -9,6 +9,10 @@ module Iso = Ids_graph.Iso
 module Perm = Ids_graph.Perm
 module Rng = Ids_bignum.Rng
 
+
+(* Trial budgets honor IDS_TRIALS_SCALE so @runtest-fast can dial them down. *)
+let strials n = Ids_engine.Engine.scaled_trials n
+
 let accepted (o : Outcome.t) = o.Outcome.accepted
 
 (* --- Gni_full -------------------------------------------------------------------- *)
@@ -49,7 +53,7 @@ let test_gni_full_single_rep_gap () =
   let yes = Gni_full.yes_instance rng 6 and no = Gni_full.no_instance rng 6 in
   let params = Gni_full.params_for ~seed:1 yes in
   let rate inst =
-    (Stats.acceptance ~trials:200 (fun seed -> Gni_full.run_single ~params ~seed inst Gni_full.honest))
+    (Stats.acceptance ~trials:(strials 200) (fun seed -> Gni_full.run_single ~params ~seed inst Gni_full.honest))
       .Stats.rate
   in
   let yes_rate = rate yes and no_rate = rate no in
@@ -75,7 +79,7 @@ let test_gni_full_fake_automorphism_caught () =
   let no = Gni_full.no_instance rng 6 in
   let params = Gni_full.params_for ~seed:3 no in
   let rate prover =
-    (Stats.acceptance ~trials:120 (fun seed -> Gni_full.run_single ~params ~seed no prover)).Stats.rate
+    (Stats.acceptance ~trials:(strials 120) (fun seed -> Gni_full.run_single ~params ~seed no prover)).Stats.rate
   in
   let fake = rate Gni_full.adversary_fake_automorphism and honest = rate Gni_full.honest in
   Alcotest.(check bool)

@@ -9,6 +9,10 @@ module Rng = Ids_bignum.Rng
 open Ids_graph
 open Ids_proof
 
+
+(* Trial budgets honor IDS_TRIALS_SCALE so @runtest-fast can dial them down. *)
+let strials n = Ids_engine.Engine.scaled_trials n
+
 let qtest = QCheck_alcotest.to_alcotest
 
 (* --- Modarith.gcd / inv ----------------------------------------------------- *)
@@ -223,7 +227,7 @@ let test_gni_induced_gap_and_verdicts () =
   let yes = Gni_induced.yes_instance rng 10 and no = Gni_induced.no_instance rng 10 in
   let params = Gni_induced.params_for ~seed:2 yes in
   let rate inst =
-    (Stats.acceptance ~trials:150 (fun seed -> Gni_induced.run_single ~params ~seed inst Gni_induced.honest))
+    (Stats.acceptance ~trials:(strials 150) (fun seed -> Gni_induced.run_single ~params ~seed inst Gni_induced.honest))
       .Stats.rate
   in
   let yes_rate = rate yes and no_rate = rate no in

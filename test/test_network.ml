@@ -109,13 +109,64 @@ let prop_cost_total_is_sum =
       List.iter (fun (v, b) -> Cost.charge_to_prover c v b) charges;
       Cost.total c = List.fold_left (fun acc (_, b) -> acc + b) 0 charges)
 
+(* Random charge sequences mixing both directions over an 8-node ledger. *)
+let arb_charge_seq =
+  QCheck.(list_of_size (Gen.int_bound 40) (triple bool (int_bound 7) (int_bound 1000)))
+
+let apply_charges c charges =
+  List.iter
+    (fun (to_prover, v, bits) ->
+      if to_prover then Cost.charge_to_prover c v bits else Cost.charge_from_prover c v bits)
+    charges
+
+let prop_cost_invariants =
+  QCheck.Test.make ~name:"cost: charges non-negative, total = sum node_total" ~count:300 arb_charge_seq
+    (fun charges ->
+      let c = Cost.create 8 in
+      apply_charges c charges;
+      let sum = ref 0 and nonneg = ref true in
+      for v = 0 to 7 do
+        sum := !sum + Cost.node_total c v;
+        if Cost.node_total c v < 0 || Cost.to_prover c v < 0 || Cost.from_prover c v < 0 then
+          nonneg := false
+      done;
+      !nonneg && Cost.total c = !sum)
+
+let prop_cost_max_per_node_upper_bound =
+  QCheck.Test.make ~name:"cost: max_per_node is the least upper bound" ~count:300 arb_charge_seq
+    (fun charges ->
+      let c = Cost.create 8 in
+      apply_charges c charges;
+      let m = Cost.max_per_node c in
+      let bounds = ref true and attained = ref false in
+      for v = 0 to 7 do
+        if Cost.node_total c v > m then bounds := false;
+        if Cost.node_total c v = m then attained := true;
+        if Cost.from_prover c v > Cost.max_from_prover c then bounds := false
+      done;
+      !bounds && !attained)
+
+let test_cost_negative_charge_raises () =
+  Alcotest.check_raises "to_prover" (Invalid_argument "Cost.charge_to_prover: negative bits")
+    (fun () -> Cost.charge_to_prover (Cost.create 2) 0 (-1));
+  Alcotest.check_raises "from_prover" (Invalid_argument "Cost.charge_from_prover: negative bits")
+    (fun () -> Cost.charge_from_prover (Cost.create 2) 1 (-5));
+  (* broadcast helpers funnel through the same guarded entry points *)
+  Alcotest.check_raises "all_from_prover" (Invalid_argument "Cost.charge_from_prover: negative bits")
+    (fun () -> Cost.charge_all_from_prover (Cost.create 2) (-3))
+
 let suite =
   [ ( "bits",
       [ Alcotest.test_case "known values" `Quick test_bits_values;
         Alcotest.test_case "invalid input" `Quick test_bits_invalid
       ] );
     ( "cost",
-      [ Alcotest.test_case "ledger arithmetic" `Quick test_cost_ledger; qtest prop_cost_total_is_sum ] );
+      [ Alcotest.test_case "ledger arithmetic" `Quick test_cost_ledger;
+        Alcotest.test_case "negative charge raises" `Quick test_cost_negative_charge_raises;
+        qtest prop_cost_total_is_sum;
+        qtest prop_cost_invariants;
+        qtest prop_cost_max_per_node_upper_bound
+      ] );
     ( "network",
       [ Alcotest.test_case "challenge charges + determinism" `Quick test_challenge_charges_and_determinism;
         Alcotest.test_case "per-node challenge independence" `Quick test_challenges_independent_across_nodes;

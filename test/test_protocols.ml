@@ -10,6 +10,10 @@ module Iso = Ids_graph.Iso
 module Perm = Ids_graph.Perm
 module Rng = Ids_bignum.Rng
 
+
+(* Trial budgets honor IDS_TRIALS_SCALE so @runtest-fast can dial them down. *)
+let strials n = Ids_engine.Engine.scaled_trials n
+
 let accepted (o : Outcome.t) = o.Outcome.accepted
 
 (* --- Protocol 1 (dMAM) -------------------------------------------------------- *)
@@ -35,7 +39,7 @@ let test_dmam_soundness_adversaries () =
   let rng = Rng.create 101 in
   let g = Family.random_asymmetric rng 10 in
   let check_adv name adv max_rate =
-    let est = Stats.acceptance ~trials:60 (fun seed -> Sym_dmam.run ~seed g adv) in
+    let est = Stats.acceptance ~trials:(strials 60) (fun seed -> Sym_dmam.run ~seed g adv) in
     Alcotest.(check bool)
       (Printf.sprintf "%s rate %.3f <= %.3f" name est.Stats.rate max_rate)
       true
@@ -50,7 +54,7 @@ let test_dmam_honest_loses_on_asymmetric () =
   (* Even the honest code must fail on NO instances: there is no witness. *)
   let rng = Rng.create 102 in
   let g = Family.random_asymmetric rng 8 in
-  let est = Stats.acceptance ~trials:40 (fun seed -> Sym_dmam.run ~seed g Sym_dmam.honest) in
+  let est = Stats.acceptance ~trials:(strials 40) (fun seed -> Sym_dmam.run ~seed g Sym_dmam.honest) in
   Alcotest.(check bool) "honest cannot prove a false statement" true (est.Stats.rate <= 0.1)
 
 let test_dmam_cost_logarithmic () =
@@ -116,7 +120,7 @@ let test_dam_soundness () =
   let g = Family.random_asymmetric rng 8 in
   List.iter
     (fun adv ->
-      let est = Stats.acceptance ~trials:25 (fun seed -> Sym_dam.run ~seed g adv) in
+      let est = Stats.acceptance ~trials:(strials 25) (fun seed -> Sym_dam.run ~seed g adv) in
       Alcotest.(check bool) "adversary blocked" true (est.Stats.rate = 0.0))
     [ Sym_dam.adversary_search; Sym_dam.adversary_random_perm ]
 
@@ -289,7 +293,7 @@ let test_gni_single_rep_rates () =
   let params = Gni.params_for ~seed:1 yes in
   let rate inst =
     let est =
-      Stats.acceptance ~trials:250 (fun seed -> Gni.run_single ~params ~seed inst Gni.honest)
+      Stats.acceptance ~trials:(strials 250) (fun seed -> Gni.run_single ~params ~seed inst Gni.honest)
     in
     est.Stats.rate
   in
@@ -321,10 +325,10 @@ let test_gni_forging_adversary_blocked () =
      aggregation check must catch every forged repetition, so its hit rate
      cannot exceed the honest one. *)
   let est_forge =
-    Stats.acceptance ~trials:120 (fun seed -> Gni.run_single ~params ~seed no Gni.adversary_forge_aggregates)
+    Stats.acceptance ~trials:(strials 120) (fun seed -> Gni.run_single ~params ~seed no Gni.adversary_forge_aggregates)
   in
   let est_honest =
-    Stats.acceptance ~trials:120 (fun seed -> Gni.run_single ~params ~seed no Gni.honest)
+    Stats.acceptance ~trials:(strials 120) (fun seed -> Gni.run_single ~params ~seed no Gni.honest)
   in
   Alcotest.(check bool)
     (Printf.sprintf "forged %.3f <= honest %.3f + slack" est_forge.Stats.rate est_honest.Stats.rate)
