@@ -62,11 +62,13 @@ let sym_cmd =
     let prover =
       match adversary with
       | "honest" -> Sym_dmam.honest
-      | "random-perm" -> Sym_dmam.adversary_random_perm
-      | "forged-sums" -> Sym_dmam.adversary_forged_sums
-      | "identity" -> Sym_dmam.adversary_identity
-      | "split-broadcast" -> Sym_dmam.adversary_split_broadcast
-      | other -> failwith (Printf.sprintf "unknown prover %S" other)
+      | other -> (
+        match Adversary.lookup Adversary.sym_dmam other with
+        | Some p -> p
+        | None ->
+          failwith
+            (Printf.sprintf "unknown prover %S (honest, %s)" other
+               (String.concat ", " (Adversary.names Adversary.sym_dmam))))
     in
     if trials > 0 then
       report_estimate "acceptance" (Stats.acceptance_ci ~trials (fun s -> Sym_dmam.run ~seed:s g prover))

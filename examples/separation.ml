@@ -61,8 +61,9 @@ let () =
       | None -> "undecided")
       e.Engine.trials e.Engine.rate e.Engine.ci_low e.Engine.ci_high
   in
+  let cheat = Option.get (Adversary.lookup Adversary.dsym "consistent") in
   describe "YES" (fun seed -> Dsym.run ~seed inst Dsym.honest);
   describe "NO" (fun seed ->
       (* per-seed perturbation rng: trial functions must be pure in the seed *)
       let bad = Dsym.make_instance ~n:16 ~r:2 (Family.dsym_perturbed (Rng.create (47 + seed)) f 2) in
-      Dsym.run ~seed bad Dsym.adversary_consistent)
+      Dsym.run ~seed bad cheat)

@@ -20,6 +20,14 @@ let split t =
   let s = next_int64 t in
   { state = mix s }
 
+let key parts =
+  let z =
+    List.fold_left
+      (fun z p -> mix (Int64.add (Int64.logxor z (Int64.of_int p)) gamma))
+      0x243F6A8885A308D3L parts
+  in
+  Int64.to_int z
+
 let bits t k =
   assert (k >= 0 && k <= 62);
   if k = 0 then 0

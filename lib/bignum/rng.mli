@@ -18,6 +18,14 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     (statistically) independent of the remainder of [t]'s stream. *)
 
+val key : int list -> int
+(** [key parts] derives a seed from a composite key by iterated splitmix64
+    mixing: each component is folded through the avalanche function, so seeds
+    for nearby tuples (e.g. [(trial, round, node)] and [(trial, round,
+    node+1)]) are statistically independent. Pure: no generator state is
+    consumed, which is what lets fault decisions be keyed by position rather
+    than drawn from a shared stream. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -12,12 +12,22 @@ let escape s =
     s;
   Buffer.contents buf
 
-let to_json ~protocol ~n ~prover (e : Engine.estimate) =
+(* Bumped whenever a field is added, renamed, or re-typed, so downstream
+   consumers can dispatch without sniffing. History: 1 = the PR-1 format
+   (no version field); 2 = adds schema_version and the optional fault label. *)
+let schema_version = 2
+
+let to_json ?fault ~protocol ~n ~prover (e : Engine.estimate) =
+  let fault_field =
+    match fault with
+    | None -> ""
+    | Some f -> Printf.sprintf "\"fault\":\"%s\"," (escape f)
+  in
   Printf.sprintf
-    "{\"protocol\":\"%s\",\"n\":%d,\"prover\":\"%s\",\"trials\":%d,\"accepts\":%d,\"rate\":%.6g,\"ci_low\":%.6g,\"ci_high\":%.6g,\"mean_bits\":%.6g,\"max_bits\":%d,\"domains\":%d,\"stopped_early\":%b}"
-    (escape protocol) n (escape prover) e.Engine.trials e.Engine.accepts e.Engine.rate
-    e.Engine.ci_low e.Engine.ci_high e.Engine.mean_bits e.Engine.max_bits e.Engine.domains
-    e.Engine.stopped_early
+    "{\"schema_version\":%d,\"protocol\":\"%s\",\"n\":%d,\"prover\":\"%s\",%s\"trials\":%d,\"accepts\":%d,\"rate\":%.6g,\"ci_low\":%.6g,\"ci_high\":%.6g,\"mean_bits\":%.6g,\"max_bits\":%d,\"domains\":%d,\"stopped_early\":%b}"
+    schema_version (escape protocol) n (escape prover) fault_field e.Engine.trials
+    e.Engine.accepts e.Engine.rate e.Engine.ci_low e.Engine.ci_high e.Engine.mean_bits
+    e.Engine.max_bits e.Engine.domains e.Engine.stopped_early
 
 (* The sink is process-global; [owned] distinguishes channels this module
    opened (and must close) from externally supplied ones. *)
@@ -51,10 +61,10 @@ let open_from_env ?default () =
       (* An unwritable log path shouldn't abort a long benchmark run. *)
       Printf.eprintf "warning: run log disabled (%s)\n%!" msg)
 
-let log ~protocol ~n ~prover e =
+let log ?fault ~protocol ~n ~prover e =
   match !sink with
   | None -> ()
   | Some oc ->
-    output_string oc (to_json ~protocol ~n ~prover e);
+    output_string oc (to_json ?fault ~protocol ~n ~prover e);
     output_char oc '\n';
     flush oc

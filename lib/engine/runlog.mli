@@ -5,13 +5,20 @@
     experiment tables without scraping stdout. Line format:
 
     {v
-    {"protocol":"sym_dmam","n":16,"prover":"honest","trials":240,
-     "accepts":240,"rate":1.0,"ci_low":0.98413,"ci_high":1.0,
+    {"schema_version":2,"protocol":"sym_dmam","n":16,"prover":"honest",
+     "trials":240,"accepts":240,"rate":1.0,"ci_low":0.98413,"ci_high":1.0,
      "mean_bits":87.1,"max_bits":92,"domains":4,"stopped_early":false}
-    v} *)
+    v}
 
-val to_json : protocol:string -> n:int -> prover:string -> Engine.estimate -> string
-(** The JSON object for one estimate (a single line, no trailing newline). *)
+    Fault-sweep records additionally carry a ["fault"] field holding the
+    [Fault.to_string]-style label of the injected spec. *)
+
+val schema_version : int
+(** Version stamped on every record; bumped on any format change. *)
+
+val to_json : ?fault:string -> protocol:string -> n:int -> prover:string -> Engine.estimate -> string
+(** The JSON object for one estimate (a single line, no trailing newline).
+    [fault] adds the fault-spec label field. *)
 
 val set_sink : out_channel option -> unit
 (** Route subsequent {!log} calls to the given channel (or drop them). *)
@@ -23,7 +30,7 @@ val open_from_env : ?default:string -> unit -> unit
     unwritable path prints a warning on stderr and disables logging rather
     than aborting the run. *)
 
-val log : protocol:string -> n:int -> prover:string -> Engine.estimate -> unit
+val log : ?fault:string -> protocol:string -> n:int -> prover:string -> Engine.estimate -> unit
 (** Append one JSON line to the sink, if any (no-op otherwise). *)
 
 val close : unit -> unit

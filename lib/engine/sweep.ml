@@ -1,0 +1,10 @@
+type 's point = { spec : 's; label : string; estimate : Engine.estimate }
+
+let run ?domains ?chunk ~protocol ~n ~prover ~trials ~label ~specs f =
+  List.map
+    (fun spec ->
+      let estimate = Engine.run ?domains ?chunk ~trials (fun seed -> f spec seed) in
+      let label = label spec in
+      Runlog.log ~fault:label ~protocol ~n ~prover estimate;
+      { spec; label; estimate })
+    specs

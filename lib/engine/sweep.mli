@@ -1,0 +1,36 @@
+(** Degradation sweeps: one Monte Carlo estimate per fault spec.
+
+    A sweep runs the same seeded trial function once per point of a fault
+    grid and logs every estimate to {!Runlog} tagged with the point's label,
+    producing the completeness/soundness-vs-fault-rate curves the robustness
+    experiments plot. The module is generic in the spec type (the network
+    layer's [Fault.spec] in practice) so the engine stays free of upward
+    dependencies.
+
+    Determinism: each point is estimated with {!Engine.run}, so a sweep is
+    bit-identical for every worker-domain count, and trials are keyed by
+    seed alone — the spec must flow into the trial function's behavior only
+    through its value, never through shared mutable state. *)
+
+type 's point = {
+  spec : 's;
+  label : string;  (** The [label] function applied to [spec]. *)
+  estimate : Engine.estimate;
+}
+
+val run :
+  ?domains:int ->
+  ?chunk:int ->
+  protocol:string ->
+  n:int ->
+  prover:string ->
+  trials:int ->
+  label:('s -> string) ->
+  specs:'s list ->
+  ('s -> int -> Accum.trial) ->
+  's point list
+(** [run ~protocol ~n ~prover ~trials ~label ~specs f] estimates
+    [f spec seed] over [seed = 1 .. trials] for each spec in order, logging
+    each estimate with {!Runlog.log} under the spec's label (the [fault]
+    record field). [protocol], [n], and [prover] are the run-log identity
+    fields; [domains] and [chunk] are passed to {!Engine.run}. *)

@@ -2,47 +2,109 @@ module Graph = Ids_graph.Graph
 module Bitset = Ids_graph.Bitset
 module Rng = Ids_bignum.Rng
 
-type t = { graph : Graph.t; cost : Cost.t; rng : Rng.t }
+type t = {
+  graph : Graph.t;
+  cost : Cost.t;
+  rng : Rng.t;
+  fault : Fault.t option;
+  missed : bool array;
+}
 
-let create ~seed graph = { graph; cost = Cost.create (Graph.n graph); rng = Rng.create seed }
+let create ?fault ~seed graph =
+  let n = Graph.n graph in
+  let fault =
+    match fault with
+    | Some spec when not (Fault.is_none spec) -> Some (Fault.create ~seed ~n spec)
+    | Some _ | None -> None
+  in
+  { graph; cost = Cost.create n; rng = Rng.create seed; fault; missed = Array.make n false }
 
 let graph t = t.graph
 let n t = Graph.n t.graph
 let cost t = t.cost
 let rng t = t.rng
 
+let fault_spec t = match t.fault with Some f -> Fault.spec f | None -> Fault.none
+let crashed t v = match t.fault with Some f -> Fault.crashed f v | None -> false
+let missed t v = t.missed.(v)
+
 let challenge t ~bits gen =
   Cost.charge_all_to_prover t.cost bits;
   (* Each node owns an independent generator split off the execution seed. *)
-  Array.init (n t) (fun _ -> gen (Rng.split t.rng))
+  let a = Array.init (n t) (fun _ -> gen (Rng.split t.rng)) in
+  (match t.fault with
+  | None -> ()
+  | Some f ->
+    let round = Fault.next_round f in
+    for v = 0 to n t - 1 do
+      (* A dropped challenge never reaches the prover: the sending node has
+         no valid transcript and will reject at decision time. *)
+      match Fault.deliver f ~round ~node:v a.(v) with
+      | Fault.Dropped -> t.missed.(v) <- true
+      | Fault.Delivered _ -> ()
+    done);
+  a
 
 let check_length t a = if Array.length a <> n t then invalid_arg "Network: response length mismatch"
 
-let unicast t ~bits responses =
+(* Per-node delivery over one prover-response round. Equivocation (broadcast
+   rounds only) corrupts the keyed victim's copy after regular delivery, so
+   the spec's drop/corrupt rates and the equivocation attack compose. *)
+let apply_faults t ?corrupt ?on_drop ~equivocable responses =
+  match t.fault with
+  | None -> responses
+  | Some f ->
+    let round = Fault.next_round f in
+    let out = Array.copy responses in
+    for v = 0 to Array.length out - 1 do
+      match Fault.deliver f ~round ~node:v ?corrupt out.(v) with
+      | Fault.Delivered x -> out.(v) <- x
+      | Fault.Dropped -> (
+        match on_drop with
+        | Some d -> out.(v) <- d
+        | None -> t.missed.(v) <- true)
+    done;
+    (if equivocable then
+       match (corrupt, Fault.equivocation f ~round ~n:(Array.length out)) with
+       | Some c, Some (victim, rng) -> out.(victim) <- c rng out.(victim)
+       | _ -> ());
+    out
+
+let unicast t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
   Cost.charge_all_from_prover t.cost bits;
-  responses
+  apply_faults t ?corrupt ?on_drop ~equivocable:false responses
 
-let unicast_varbits t ~bits responses =
+let unicast_varbits t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
   Array.iteri (fun v _ -> Cost.charge_from_prover t.cost v (bits v)) responses;
-  responses
+  apply_faults t ?corrupt ?on_drop ~equivocable:false responses
 
-let broadcast t ~bits responses =
+let broadcast t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
   Cost.charge_all_from_prover t.cost bits;
-  responses
+  apply_faults t ?corrupt ?on_drop ~equivocable:true responses
 
-let broadcast_uniform t ~bits value = broadcast t ~bits (Array.make (n t) value)
+let broadcast_uniform t ?corrupt ?on_drop ~bits value =
+  broadcast t ?corrupt ?on_drop ~bits (Array.make (n t) value)
 
-let broadcast_consistent_at t values v =
+let broadcast_consistent_at ?(equal = fun a b -> a = b) t values v =
   let ok = ref true in
-  Bitset.iter (fun u -> if values.(u) <> values.(v) then ok := false) (Graph.neighbors t.graph v);
+  (* Crashed neighbors are silent, so there is no copy to compare against. *)
+  Bitset.iter
+    (fun u -> if (not (crashed t u)) && not (equal values.(u) values.(v)) then ok := false)
+    (Graph.neighbors t.graph v);
   !ok
 
 let decide t out =
   let accepted = ref true in
   for v = 0 to n t - 1 do
-    if not (out v) then accepted := false
+    if crashed t v then begin
+      match t.fault with
+      | Some f when Fault.crash_mode f = Fault.Crash_vacuous -> ()
+      | _ -> accepted := false
+    end
+    else if t.missed.(v) then accepted := false
+    else if not (out v) then accepted := false
   done;
   !accepted

@@ -14,42 +14,84 @@
       assignment is caught by some edge).
 
     The prover is just caller code: honest provers compute what the protocol
-    prescribes, adversarial provers may supply arbitrary arrays. *)
+    prescribes, adversarial provers may supply arbitrary arrays.
+
+    {2 Fault injection}
+
+    [create ?fault] threads a {!Fault.spec} through every channel primitive:
+    messages can be dropped (the expecting node rejects, or receives the
+    round's [on_drop] default), corrupted (via the round's [corrupt] hook),
+    nodes can crash-silently, and broadcasts can be equivocated at a keyed
+    victim node. Each channel operation is one fault {e round}; decisions are
+    keyed by [(seed, round, node)], so faulted runs are deterministic in the
+    trial seed. A [None] or {!Fault.none} spec is exactly the un-faulted
+    path, and the cost ledger always records what the prover transmitted,
+    delivered or not. *)
 
 type t
 
-val create : seed:int -> Ids_graph.Graph.t -> t
+val create : ?fault:Fault.spec -> seed:int -> Ids_graph.Graph.t -> t
 (** Fresh execution over the given network graph. The seed determines all of
-    Arthur's randomness. *)
+    Arthur's randomness and, independently, every fault decision. *)
 
 val graph : t -> Ids_graph.Graph.t
 val n : t -> int
 val cost : t -> Cost.t
 val rng : t -> Ids_bignum.Rng.t
 
+val fault_spec : t -> Fault.spec
+(** The active fault spec ({!Fault.none} when no faults are injected). *)
+
+val crashed : t -> int -> bool
+(** Did this execution's fault layer crash node [v]? *)
+
+val missed : t -> int -> bool
+(** Has node [v] missed a message (dropped with no [on_drop] default) so
+    far? Such a node rejects at {!decide} time. *)
+
 val challenge : t -> bits:int -> (Ids_bignum.Rng.t -> 'c) -> 'c array
 (** Arthur round: every node draws an independent challenge with the given
-    generator and is charged [bits] towards the prover. *)
+    generator and is charged [bits] towards the prover. Under faults, a
+    dropped challenge marks the sending node as missed (it rejects: the
+    prover never saw its challenge, so no transcript involving it is
+    valid). *)
 
-val unicast : t -> bits:int -> 'r array -> 'r array
+val unicast : t -> ?corrupt:(Ids_bignum.Rng.t -> 'r -> 'r) -> ?on_drop:'r -> bits:int -> 'r array -> 'r array
 (** Merlin unicast round: the prover supplies one value per node; every node
-    is charged [bits] received. @raise Invalid_argument on length mismatch. *)
+    is charged [bits] received. Under faults, each delivery can corrupt (via
+    [corrupt], see {!Fault}'s ready-made hooks) or drop ([on_drop] default,
+    else the node rejects). @raise Invalid_argument on length mismatch. *)
 
-val unicast_varbits : t -> bits:(int -> int) -> 'r array -> 'r array
+val unicast_varbits :
+  t -> ?corrupt:(Ids_bignum.Rng.t -> 'r -> 'r) -> ?on_drop:'r -> bits:(int -> int) -> 'r array -> 'r array
 (** Like {!unicast} with a per-node bit cost. *)
 
-val broadcast : t -> bits:int -> 'r array -> 'r array
+val broadcast : t -> ?corrupt:(Ids_bignum.Rng.t -> 'r -> 'r) -> ?on_drop:'r -> bits:int -> 'r array -> 'r array
 (** Merlin broadcast round: like {!unicast}, but the values are expected to
     be all equal; use {!broadcast_consistent_at} in the verification phase to
-    apply the paper's neighbor-comparison check. *)
+    apply the paper's neighbor-comparison check. Under an equivocating fault
+    spec, one keyed victim node's copy is additionally corrupted ([corrupt]
+    hook required) — the attack the consistency check exists to catch. *)
 
-val broadcast_uniform : t -> bits:int -> 'r -> 'r array
+val broadcast_uniform : t -> ?corrupt:(Ids_bignum.Rng.t -> 'r -> 'r) -> ?on_drop:'r -> bits:int -> 'r -> 'r array
 (** Honest broadcast: replicate one value to all nodes and charge it. *)
 
-val broadcast_consistent_at : t -> 'r array -> int -> bool
+val broadcast_consistent_at : ?equal:('r -> 'r -> bool) -> t -> 'r array -> int -> bool
 (** [broadcast_consistent_at t values v] is the local broadcast check at
-    node [v]: its copy equals every neighbor's copy (polymorphic equality). *)
+    node [v]: its copy equals every (non-crashed) neighbor's copy.
+
+    [equal] defaults to polymorphic equality — correct for the immediate
+    payloads used here (ints, flat int arrays, normalized {!Ids_bignum.Nat}
+    values), but a silent trap for any abstract numeric type whose values
+    can be structurally distinct yet semantically equal (e.g. an
+    un-normalized bignum, a hash-consed value, anything cached or lazy).
+    Pass the payload's own equality ([Nat.equal], ...) whenever one exists:
+    a structural mismatch between semantically equal copies would make an
+    honest broadcast look like an equivocation and destroy completeness. *)
 
 val decide : t -> (int -> bool) -> bool
 (** [decide t out] runs the local decision [out v] at every node and accepts
-    iff all nodes accept (the paper's global acceptance rule). *)
+    iff all nodes accept (the paper's global acceptance rule). Nodes that
+    missed a message reject. Crashed nodes never run [out]: they count as
+    rejecting under {!Fault.Crash_reject} and are skipped under
+    {!Fault.Crash_vacuous}. *)

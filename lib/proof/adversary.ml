@@ -1,0 +1,148 @@
+module Graph = Ids_graph.Graph
+module Family = Ids_graph.Family
+module Fault = Ids_network.Fault
+module Rng = Ids_bignum.Rng
+
+(* --- per-protocol registries -------------------------------------------------- *)
+
+let sym_dmam : (string * Sym_dmam.prover) list =
+  [ ("random-perm", Sym_dmam.adversary_random_perm);
+    ("forged-sums", Sym_dmam.adversary_forged_sums);
+    ("identity", Sym_dmam.adversary_identity);
+    ("split-broadcast", Sym_dmam.adversary_split_broadcast)
+  ]
+
+let sym_dam : (string * Sym_dam.prover) list =
+  [ ("search", Sym_dam.adversary_search); ("random-perm", Sym_dam.adversary_random_perm) ]
+
+let dsym : (string * Dsym.prover) list =
+  [ ("consistent", Dsym.adversary_consistent);
+    ("wrong-permutation", Dsym.adversary_wrong_permutation)
+  ]
+
+let gni : (string * Gni.prover) list =
+  [ ("forge-aggregates", Gni.adversary_forge_aggregates);
+    ("biased-hash", Gni.adversary_biased_hash)
+  ]
+
+let lookup registry name = List.assoc_opt name registry
+
+let names registry = List.map fst registry
+
+(* --- the PLS baseline's forger ------------------------------------------------ *)
+
+let pls_off_by_one g root =
+  let a = Pls.Tree.honest g root in
+  { a with Pls.Tree.dist = Array.map succ a.Pls.Tree.dist }
+
+let run_pls_off_by_one g root =
+  let advice = pls_off_by_one g root in
+  let v = Pls.Tree.verify g advice in
+  let bits = v.Pls.advice_bits_per_node in
+  (* The baseline has no prover channel, so advice bits play every role. *)
+  { Outcome.accepted = v.Pls.accepted;
+    max_bits_per_node = bits;
+    max_response_bits = bits;
+    total_bits = bits * Graph.n g;
+    prover = "adversary:off-by-one-dist"
+  }
+
+(* --- fixed sweep cases -------------------------------------------------------- *)
+
+type kind = Completeness | Soundness
+
+type case = {
+  protocol : string;
+  strategy : string;
+  kind : kind;
+  n : int;
+  run : fault:Fault.spec -> int -> Outcome.t;
+}
+
+let kind_to_string = function Completeness -> "completeness" | Soundness -> "soundness"
+
+(* Small fixed instances so one sweep point stays cheap; everything below is
+   derived from hard-coded seeds, so the cases are the same in every process.
+   Completeness cases accept with probability 1 at fault zero (the anchor a
+   degradation curve needs); soundness cases reject with the probability the
+   respective analysis bounds. *)
+let cases () =
+  let fault_or_none fault = if Fault.is_none fault then None else Some fault in
+  let sym_cases =
+    let yes_g = Family.random_symmetric (Rng.create 11) 12 in
+    let no_g = Family.random_asymmetric (Rng.create 12) 12 in
+    [ { protocol = "sym_dmam"; strategy = "honest"; kind = Completeness; n = 12;
+        run = (fun ~fault seed -> Sym_dmam.run ?fault:(fault_or_none fault) ~seed yes_g Sym_dmam.honest)
+      };
+      { protocol = "sym_dmam"; strategy = "random-perm"; kind = Soundness; n = 12;
+        run =
+          (fun ~fault seed ->
+            Sym_dmam.run ?fault:(fault_or_none fault) ~seed no_g Sym_dmam.adversary_random_perm)
+      }
+    ]
+  in
+  let dsym_cases =
+    let side = 8 and r = 2 in
+    let core = Family.random_asymmetric (Rng.create 13) side in
+    let yes = Dsym.make_instance ~n:side ~r (Family.dsym_graph core r) in
+    let vertices = (2 * side) + (2 * r) + 1 in
+    [ { protocol = "dsym"; strategy = "honest"; kind = Completeness; n = vertices;
+        run = (fun ~fault seed -> Dsym.run ?fault:(fault_or_none fault) ~seed yes Dsym.honest)
+      };
+      { protocol = "dsym"; strategy = "consistent"; kind = Soundness; n = vertices;
+        run =
+          (fun ~fault seed ->
+            (* Per-seed perturbation: trial functions must be pure in the seed. *)
+            let bad =
+              Dsym.make_instance ~n:side ~r
+                (Family.dsym_perturbed (Rng.create (31 + seed)) core r)
+            in
+            Dsym.run ?fault:(fault_or_none fault) ~seed bad Dsym.adversary_consistent)
+      };
+      { protocol = "dsym"; strategy = "wrong-permutation"; kind = Soundness; n = vertices;
+        run =
+          (fun ~fault seed ->
+            Dsym.run ?fault:(fault_or_none fault) ~seed yes Dsym.adversary_wrong_permutation)
+      }
+    ]
+  in
+  let dam_cases =
+    let yes_g = Family.random_symmetric (Rng.create 14) 8 in
+    let no_g = Family.random_asymmetric (Rng.create 15) 8 in
+    (* The prime search is the expensive part of a Sym_dam trial; share one
+       parameter draw across all trials like the bench harness does. *)
+    let yes_params = Sym_dam.params_for ~seed:7 yes_g in
+    let no_params = Sym_dam.params_for ~seed:7 no_g in
+    [ { protocol = "sym_dam"; strategy = "honest"; kind = Completeness; n = 8;
+        run =
+          (fun ~fault seed ->
+            Sym_dam.run ?fault:(fault_or_none fault) ~params:yes_params ~seed yes_g Sym_dam.honest)
+      };
+      { protocol = "sym_dam"; strategy = "random-perm"; kind = Soundness; n = 8;
+        run =
+          (fun ~fault seed ->
+            Sym_dam.run ?fault:(fault_or_none fault) ~params:no_params ~seed no_g
+              Sym_dam.adversary_random_perm)
+      }
+    ]
+  in
+  let gni_cases =
+    let inst = Gni.no_instance (Rng.create 16) 6 in
+    let params = Gni.params_for ~seed:7 inst in
+    [ { protocol = "gni"; strategy = "biased-hash"; kind = Soundness; n = 6;
+        run =
+          (fun ~fault seed ->
+            Gni.run_single ?fault:(fault_or_none fault) ~params ~seed inst
+              Gni.adversary_biased_hash)
+      }
+    ]
+  in
+  let pls_cases =
+    let g = Family.random_asymmetric (Rng.create 17) 12 in
+    [ { protocol = "pls_tree"; strategy = "off-by-one-dist"; kind = Soundness; n = 12;
+        (* The baseline exchanges no prover messages, so faults don't apply. *)
+        run = (fun ~fault:_ _seed -> run_pls_off_by_one g 0)
+      }
+    ]
+  in
+  sym_cases @ dsym_cases @ dam_cases @ gni_cases @ pls_cases

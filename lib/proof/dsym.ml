@@ -4,6 +4,7 @@ module Perm = Ids_graph.Perm
 module Family = Ids_graph.Family
 module Spanning_tree = Ids_graph.Spanning_tree
 module Network = Ids_network.Network
+module Fault = Ids_network.Fault
 module Bits = Ids_network.Bits
 module Field = Ids_hash.Field
 module Linear = Ids_hash.Linear
@@ -64,6 +65,34 @@ let honest = { name = "honest"; respond = respond_consistently }
 
 let adversary_consistent = { name = "adversary:consistent"; respond = respond_consistently }
 
+(* Plays the honest aggregation but for the wrong permutation: sigma composed
+   with the transposition (0 1). The verifiers recompute their own b-terms
+   under the true public sigma, so the subtree equations fail at the nodes
+   the tweak touches — rejected deterministically, even on YES instances. *)
+let adversary_wrong_permutation =
+  { name = "adversary:wrong-permutation";
+    respond =
+      (fun params inst challenges ->
+        let g = inst.graph in
+        let size = Graph.n g in
+        let f = params.field in
+        let sigma = Perm.compose (Family.dsym_sigma ~n:inst.n ~r:inst.r) (Perm.transposition size 0 1) in
+        let tree = Spanning_tree.bfs g honest_root in
+        let i = challenges.(honest_root) in
+        let term_a v = Linear.row_hash f i ~n:size ~row:v (Graph.closed_neighborhood g v) in
+        let term_b v =
+          Linear.row_hash f i ~n:size ~row:(Perm.apply sigma v)
+            (Perm.apply_set sigma (Graph.closed_neighborhood g v))
+        in
+        { index = const size i;
+          root = const size honest_root;
+          parent = Array.copy tree.Spanning_tree.parent;
+          dist = Array.copy tree.Spanning_tree.dist;
+          a = Aggregation.honest_sums f tree ~term:term_a;
+          b = Aggregation.honest_sums f tree ~term:term_b
+        })
+  }
+
 (* The purely structural conditions (2) and (3) of Definition 5, from the
    point of view of a single node: which edges is [v] allowed / required to
    have? All of it is a function of [v]'s own neighborhood and the public
@@ -89,21 +118,26 @@ let structure_ok inst v =
   in
   all_allowed && required
 
-let run ?params ~seed inst prover =
+let run ?fault ?params ~seed inst prover =
   let g = inst.graph in
   let size = Graph.n g in
   let params = match params with Some p -> p | None -> params_for ~seed inst in
   let f = params.field in
   let sigma = Family.dsym_sigma ~n:inst.n ~r:inst.r in
-  let net = Network.create ~seed g in
+  let net = Network.create ?fault ~seed g in
   let challenges = Network.challenge net ~bits:f.Field.bits (fun rng -> f.Field.random rng) in
   let r = prover.respond params inst challenges in
-  let index_bc = Network.broadcast net ~bits:f.Field.bits r.index in
-  let root_bc = Network.broadcast net ~bits:(Bits.id size) r.root in
-  let parent_u = Network.unicast net ~bits:(Bits.id size) r.parent in
-  let dist_u = Network.unicast net ~bits:(Bits.id size) r.dist in
-  let a_u = Network.unicast net ~bits:f.Field.bits r.a in
-  let b_u = Network.unicast net ~bits:f.Field.bits r.b in
+  (* Corrupt hooks flip a bit of the payload at its transmitted width; the
+     range checks below catch out-of-range garbles, the hash / tree / equality
+     checks catch in-range ones. *)
+  let id_corrupt = Fault.flip_int_bit ~bits:(Bits.id size) in
+  let field_corrupt = Fault.flip_int_bit ~bits:f.Field.bits in
+  let index_bc = Network.broadcast net ~corrupt:field_corrupt ~bits:f.Field.bits r.index in
+  let root_bc = Network.broadcast net ~corrupt:id_corrupt ~bits:(Bits.id size) r.root in
+  let parent_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id size) r.parent in
+  let dist_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id size) r.dist in
+  let a_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.a in
+  let b_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.b in
   let field_ok x = Aggregation.in_range params.p x in
   let decide v =
     structure_ok inst v

@@ -41,7 +41,10 @@ type prover = { name : string; respond : params -> instance -> int array -> resp
 
 val honest : prover
 
-val run : ?params:params -> seed:int -> instance -> prover -> Outcome.t
+val run : ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> instance -> prover -> Outcome.t
+(** One execution. [fault] injects faults into every channel round (see
+    {!Ids_network.Fault}); omitted or {!Ids_network.Fault.none} is the exact
+    un-faulted path. *)
 
 val adversary_consistent : prover
 (** Plays the honest strategy's moves even on NO instances (true subtree
@@ -50,3 +53,10 @@ val adversary_consistent : prover
     [(N^2+N)/p] by Theorem 3.2. This is the optimal adversary against
     structurally valid NO instances, because every other check is
     deterministic. *)
+
+val adversary_wrong_permutation : prover
+(** Aggregates the b-matrix under [sigma] composed with a transposition
+    instead of the public [sigma]. The verifiers recompute their own b-terms
+    from the true [sigma], so the subtree equations fail deterministically:
+    rejected with probability 1 even on YES instances. A sanity anchor for
+    soundness sweeps. *)

@@ -4,6 +4,7 @@ module Perm = Ids_graph.Perm
 module Iso = Ids_graph.Iso
 module Spanning_tree = Ids_graph.Spanning_tree
 module Network = Ids_network.Network
+module Fault = Ids_network.Fault
 module Bits = Ids_network.Bits
 module Field = Ids_hash.Field
 module Linear = Ids_hash.Linear
@@ -279,6 +280,30 @@ let adversary_forge_aggregates =
         end)
   }
 
+(* Never admits a miss: commits to (identity, g0) whether or not the target
+   has a preimage, betting on the identity hash landing on the target. The
+   reveal is honest for that commitment, so every structural check passes and
+   the bet is settled by the root's outer target equation alone — per
+   repetition it wins with probability about 1/q, far below the honest miss
+   rate of roughly 1 - 2 n!/q. *)
+let adversary_biased_hash =
+  { name = "adversary:biased-hash";
+    commit =
+      (fun _params inst ch ->
+        let n = inst.n in
+        let tree = Spanning_tree.bfs inst.g0 honest_root in
+        { miss = const n false;
+          b = const n 0;
+          sigma = const n (identity_table n);
+          root = const n honest_root;
+          spec_echo = const n ch.specs.(honest_root);
+          target_echo = const n ch.targets.(honest_root);
+          parent = Array.copy tree.Spanning_tree.parent;
+          dist = Array.copy tree.Spanning_tree.dist
+        });
+    reveal = honest_reveal
+  }
+
 (* --- execution --------------------------------------------------------------- *)
 
 (* One repetition inside a running network; returns per-node validity. *)
@@ -294,21 +319,32 @@ let run_repetition params inst net prover =
   let ch = { specs; targets } in
   (* Merlin 1: commitment. *)
   let c = prover.commit params inst ch in
-  let miss_bc = Network.broadcast net ~bits:1 c.miss in
-  let b_bc = Network.broadcast net ~bits:1 c.b in
-  let sigma_bc = Network.broadcast net ~bits:(Bits.perm n) c.sigma in
-  let root_bc = Network.broadcast net ~bits:(Bits.id n) c.root in
-  let spec_echo_bc = Network.broadcast net ~bits:spec_bits c.spec_echo in
-  let target_echo_bc = Network.broadcast net ~bits:f.Field.bits c.target_echo in
-  let parent_u = Network.unicast net ~bits:(Bits.id n) c.parent in
-  let dist_u = Network.unicast net ~bits:(Bits.id n) c.dist in
+  let id_corrupt = Fault.flip_int_bit ~bits:(Bits.id n) in
+  let field_corrupt = Fault.flip_int_bit ~bits:f.Field.bits in
+  let spec_corrupt rng (s : int Api.spec) =
+    { s with Api.shift = field_corrupt rng s.Api.shift }
+  in
+  let agg_corrupt rng a =
+    let a = Array.copy a in
+    let i = Rng.int rng (max 1 (Array.length a)) in
+    a.(i) <- field_corrupt rng a.(i);
+    a
+  in
+  let miss_bc = Network.broadcast net ~corrupt:Fault.flip_bool ~bits:1 c.miss in
+  let b_bc = Network.broadcast net ~corrupt:(Fault.flip_int_bit ~bits:1) ~bits:1 c.b in
+  let sigma_bc = Network.broadcast net ~corrupt:Fault.swap_entries ~bits:(Bits.perm n) c.sigma in
+  let root_bc = Network.broadcast net ~corrupt:id_corrupt ~bits:(Bits.id n) c.root in
+  let spec_echo_bc = Network.broadcast net ~corrupt:spec_corrupt ~bits:spec_bits c.spec_echo in
+  let target_echo_bc = Network.broadcast net ~corrupt:field_corrupt ~bits:f.Field.bits c.target_echo in
+  let parent_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id n) c.parent in
+  let dist_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id n) c.dist in
   (* Arthur 2: audit point. *)
   let audit = Network.challenge net ~bits:f.Field.bits (fun rng -> f.Field.random rng) in
   (* Merlin 2: aggregates. *)
   let r = prover.reveal params inst ch c audit in
-  let audit_echo_bc = Network.broadcast net ~bits:f.Field.bits r.audit_echo in
-  let agg_u = Network.unicast net ~bits:(k * f.Field.bits) r.agg in
-  let audit_agg_u = Network.unicast net ~bits:f.Field.bits r.audit_agg in
+  let audit_echo_bc = Network.broadcast net ~corrupt:field_corrupt ~bits:f.Field.bits r.audit_echo in
+  let agg_u = Network.unicast net ~corrupt:agg_corrupt ~bits:(k * f.Field.bits) r.agg in
+  let audit_agg_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.audit_agg in
   (* Local verification. *)
   let field_ok x = Aggregation.in_range params.q x in
   let is_perm table =
@@ -365,16 +401,16 @@ let run_repetition params inst net prover =
   in
   Array.init n valid_at
 
-let run_single ?params ~seed inst prover =
+let run_single ?fault ?params ~seed inst prover =
   let params = match params with Some p -> p | None -> params_for ~seed inst in
-  let net = Network.create ~seed inst.g0 in
+  let net = Network.create ?fault ~seed inst.g0 in
   let valid = run_repetition params inst net prover in
   let accepted = Array.for_all Fun.id valid in
   Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
 
-let run ?params ~seed inst prover =
+let run ?fault ?params ~seed inst prover =
   let params = match params with Some p -> p | None -> params_for ~seed inst in
-  let net = Network.create ~seed inst.g0 in
+  let net = Network.create ?fault ~seed inst.g0 in
   let counts = Array.make inst.n 0 in
   for _rep = 1 to params.repetitions do
     let valid = run_repetition params inst net prover in

@@ -102,11 +102,21 @@ val adversary_forge_aggregates : prover
     the root's aggregate so the target equation passes; the root's own
     aggregation check then fails, so the forged repetitions never count. *)
 
-val run_single : ?params:params -> seed:int -> instance -> prover -> Outcome.t
+val adversary_biased_hash : prover
+(** Never admits a miss: always commits to [(identity, g0)] and reveals
+    honestly for that commitment, betting on the identity hash landing on
+    the target — a per-repetition hit rate of about [1/q], far below the
+    honest rate, so the amplified protocol rejects it. *)
+
+val run_single :
+  ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> instance -> prover -> Outcome.t
 (** One repetition; [accepted] means all nodes found it locally valid (a
     "hit"). Used to measure the single-repetition acceptance rates that the
-    GS analysis predicts. *)
+    GS analysis predicts. [fault] injects faults into every channel round
+    (see {!Ids_network.Fault}). *)
 
-val run : ?params:params -> seed:int -> instance -> prover -> Outcome.t
+val run :
+  ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> instance -> prover -> Outcome.t
 (** The full amplified protocol: [params.repetitions] repetitions, per-node
-    counting, global accept iff every node's count reaches the threshold. *)
+    counting, global accept iff every node's count reaches the threshold.
+    [fault] injects faults into every channel round of every repetition. *)

@@ -37,6 +37,12 @@ val threshold_ci :
     questions (default plan {!Ids_engine.Sprt.definition2}): stops as soon
     as the evidence decides "rate >= 2/3" vs "rate <= 1/3". *)
 
+val trial_of_outcome : Outcome.t -> Ids_engine.Accum.trial
+(** The engine's view of one execution: acceptance bit plus the
+    max-per-node bit cost. The adapter every estimator here uses; exposed
+    for callers driving {!Ids_engine.Engine} or {!Ids_engine.Sweep}
+    directly. *)
+
 val of_engine : Ids_engine.Engine.estimate -> estimate
 
 val pp : Format.formatter -> estimate -> unit

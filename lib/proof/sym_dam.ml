@@ -4,6 +4,7 @@ module Perm = Ids_graph.Perm
 module Iso = Ids_graph.Iso
 module Spanning_tree = Ids_graph.Spanning_tree
 module Network = Ids_network.Network
+module Fault = Ids_network.Fault
 module Bits = Ids_network.Bits
 module Field = Ids_hash.Field
 module Linear = Ids_hash.Linear
@@ -73,27 +74,31 @@ let honest =
         respond_with_rho params g challenges table)
   }
 
-let run ?params ~seed g prover =
+let run ?fault ?params ~seed g prover =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Sym_dam.run: need at least 2 nodes";
   let params = match params with Some p -> p | None -> params_for ~seed g in
   let f = params.field in
-  let net = Network.create ~seed g in
+  let net = Network.create ?fault ~seed g in
+  let id_corrupt = Fault.flip_int_bit ~bits:(Bits.id n) in
+  let nat_corrupt = Fault.flip_nat_bit ~bits:f.Field.bits in
   (* Arthur round. *)
   let challenges = Network.challenge net ~bits:f.Field.bits (fun rng -> f.Field.random rng) in
   (* Merlin round. *)
   let r = prover.respond params g challenges in
-  let rho_bc = Network.broadcast net ~bits:(Bits.perm n) r.rho in
-  let index_bc = Network.broadcast net ~bits:f.Field.bits r.index in
-  let root_bc = Network.broadcast net ~bits:(Bits.id n) r.root in
-  let parent_u = Network.unicast net ~bits:(Bits.id n) r.parent in
-  let dist_u = Network.unicast net ~bits:(Bits.id n) r.dist in
-  let a_u = Network.unicast net ~bits:f.Field.bits r.a in
-  let b_u = Network.unicast net ~bits:f.Field.bits r.b in
+  let rho_bc = Network.broadcast net ~corrupt:Fault.swap_entries ~bits:(Bits.perm n) r.rho in
+  let index_bc = Network.broadcast net ~corrupt:nat_corrupt ~bits:f.Field.bits r.index in
+  let root_bc = Network.broadcast net ~corrupt:id_corrupt ~bits:(Bits.id n) r.root in
+  let parent_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id n) r.parent in
+  let dist_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id n) r.dist in
+  let a_u = Network.unicast net ~corrupt:nat_corrupt ~bits:f.Field.bits r.a in
+  let b_u = Network.unicast net ~corrupt:nat_corrupt ~bits:f.Field.bits r.b in
   let field_ok x = Nat.compare x params.p < 0 in
   let decide v =
     Network.broadcast_consistent_at net rho_bc v
-    && Network.broadcast_consistent_at net index_bc v
+    (* Nat values are normalized, so structural and numeric equality agree —
+       but state the intent explicitly rather than ride on that invariant. *)
+    && Network.broadcast_consistent_at ~equal:Nat.equal net index_bc v
     && Network.broadcast_consistent_at net root_bc v
     &&
     let rho = rho_bc.(v) and i = index_bc.(v) and root = root_bc.(v) in

@@ -46,7 +46,11 @@ type prover = {
 
 val honest : prover
 
-val run : ?params:params -> seed:int -> Ids_graph.Graph.t -> prover -> Outcome.t
+val run :
+  ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> Ids_graph.Graph.t -> prover -> Outcome.t
+(** One execution. [fault] injects faults into every channel round (see
+    {!Ids_network.Fault}); omitted or {!Ids_network.Fault.none} is the exact
+    un-faulted path. *)
 
 (** {1 Adversaries} *)
 

@@ -4,6 +4,7 @@ module Perm = Ids_graph.Perm
 module Iso = Ids_graph.Iso
 module Spanning_tree = Ids_graph.Spanning_tree
 module Network = Ids_network.Network
+module Fault = Ids_network.Fault
 module Bits = Ids_network.Bits
 module Field = Ids_hash.Field
 module Linear = Ids_hash.Linear
@@ -80,25 +81,27 @@ let honest =
     respond = respond_consistently
   }
 
-let run ?params ~seed g prover =
+let run ?fault ?params ~seed g prover =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Sym_dmam.run: need at least 2 nodes";
   let params = match params with Some p -> p | None -> params_for ~seed g in
   let f = params.field in
-  let net = Network.create ~seed g in
+  let net = Network.create ?fault ~seed g in
+  let id_corrupt = Fault.flip_int_bit ~bits:(Bits.id n) in
+  let field_corrupt = Fault.flip_int_bit ~bits:f.Field.bits in
   (* Merlin round 1. *)
   let c = prover.commit params g in
-  let root_bc = Network.broadcast net ~bits:(Bits.id n) c.root in
-  let rho_u = Network.unicast net ~bits:(Bits.id n) c.rho in
-  let parent_u = Network.unicast net ~bits:(Bits.id n) c.parent in
-  let dist_u = Network.unicast net ~bits:(Bits.id n) c.dist in
+  let root_bc = Network.broadcast net ~corrupt:id_corrupt ~bits:(Bits.id n) c.root in
+  let rho_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id n) c.rho in
+  let parent_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id n) c.parent in
+  let dist_u = Network.unicast net ~corrupt:id_corrupt ~bits:(Bits.id n) c.dist in
   (* Arthur round: random hash indices. *)
   let challenges = Network.challenge net ~bits:f.Field.bits (fun rng -> f.Field.random rng) in
   (* Merlin round 2. *)
   let r = prover.respond params g c challenges in
-  let index_bc = Network.broadcast net ~bits:f.Field.bits r.index in
-  let a_u = Network.unicast net ~bits:f.Field.bits r.a in
-  let b_u = Network.unicast net ~bits:f.Field.bits r.b in
+  let index_bc = Network.broadcast net ~corrupt:field_corrupt ~bits:f.Field.bits r.index in
+  let a_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.a in
+  let b_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.b in
   (* Verification. *)
   let field_ok x = Aggregation.in_range params.p x in
   let decide v =

@@ -58,9 +58,12 @@ val honest : prover
     protocol. On an asymmetric (or disconnected) graph it has no valid
     strategy and plays a losing commitment. *)
 
-val run : ?params:params -> seed:int -> Ids_graph.Graph.t -> prover -> Outcome.t
+val run :
+  ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> Ids_graph.Graph.t -> prover -> Outcome.t
 (** Execute the protocol once. The seed drives Arthur's coins (and the
-    default prime choice). *)
+    default prime choice). [fault] injects faults into every channel round
+    (see {!Ids_network.Fault}); omitted or {!Ids_network.Fault.none} is the
+    exact un-faulted path. *)
 
 (** {1 Adversaries and analysis} *)
 

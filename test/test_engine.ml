@@ -208,8 +208,16 @@ let test_runlog_json_shape () =
   List.iter
     (fun needle ->
       Alcotest.(check bool) (needle ^ " present") true (contains line needle))
-    [ "\"protocol\":\"synth\\\"etic\""; "\"n\":8"; "\"trials\":50"; "\"ci_low\":"; "\"domains\":1" ];
-  Alcotest.(check bool) "single line" true (not (contains line "\n"))
+    [ Printf.sprintf "{\"schema_version\":%d," Runlog.schema_version;
+      "\"protocol\":\"synth\\\"etic\""; "\"n\":8"; "\"trials\":50"; "\"ci_low\":"; "\"domains\":1" ];
+  Alcotest.(check bool) "no fault field unless given" true (not (contains line "\"fault\":"));
+  Alcotest.(check bool) "single line" true (not (contains line "\n"));
+  let faulted = Runlog.to_json ~fault:"drop=0.1" ~protocol:"p" ~n:4 ~prover:"x" e in
+  Alcotest.(check bool) "fault field present when given" true
+    (let sub = "\"fault\":\"drop=0.1\"" in
+     let n = String.length faulted and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub faulted i m = sub || go (i + 1)) in
+     go 0)
 
 (* --- env knobs --------------------------------------------------------------------- *)
 

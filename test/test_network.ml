@@ -91,6 +91,58 @@ let test_unicast_charges () =
     Alcotest.(check int) "per-node charge" (9 + v) (Cost.from_prover (Network.cost net) v)
   done
 
+let test_unicast_varbits_accounting () =
+  (* Per-node bit functions sum into both the node totals and the grand
+     total, on top of whatever the node was already charged. *)
+  let g = Graph.cycle 5 in
+  let net = Network.create ~seed:2 g in
+  let _ = Network.unicast_varbits net ~bits:(fun v -> (2 * v) + 1) [| 10; 11; 12; 13; 14 |] in
+  let _ = Network.unicast_varbits net ~bits:(fun v -> 100 * v) [| 0; 0; 0; 0; 0 |] in
+  let expected v = (2 * v) + 1 + (100 * v) in
+  for v = 0 to 4 do
+    Alcotest.(check int) (Printf.sprintf "node %d from-prover sum" v) (expected v)
+      (Cost.from_prover (Network.cost net) v)
+  done;
+  let grand = List.fold_left (fun acc v -> acc + expected v) 0 (List.init 5 Fun.id) in
+  Alcotest.(check int) "grand total" grand (Cost.total (Network.cost net));
+  Alcotest.(check int) "max per node" (expected 4) (Cost.max_per_node (Network.cost net))
+
+let test_unicast_varbits_length_mismatch () =
+  let net = Network.create ~seed:1 (Graph.path 3) in
+  Alcotest.check_raises "too short" (Invalid_argument "Network: response length mismatch")
+    (fun () -> ignore (Network.unicast_varbits net ~bits:(fun _ -> 1) [| 1; 2 |]));
+  Alcotest.check_raises "too long" (Invalid_argument "Network: response length mismatch")
+    (fun () -> ignore (Network.unicast_varbits net ~bits:(fun _ -> 1) [| 1; 2; 3; 4 |]))
+
+let test_broadcast_consistent_at_custom_equal () =
+  (* The ?equal hook: values that are structurally distinct but semantically
+     equal must not read as an equivocation once the payload's own equality
+     is supplied. Lists standing in for an un-normalized numeric type. *)
+  let g = Graph.path 3 in
+  let net = Network.create ~seed:1 g in
+  let values = [| [ 1 ]; [ 1; 0 ]; [ 1; 0; 0 ] |] in
+  let semantically_equal a b = List.fold_left ( + ) 0 a = List.fold_left ( + ) 0 b in
+  Alcotest.(check bool) "structural equality sees a split" false
+    (Network.broadcast_consistent_at net values 1);
+  Alcotest.(check bool) "semantic equality does not" true
+    (Network.broadcast_consistent_at ~equal:semantically_equal net values 1)
+
+let test_equivocation_not_caught_across_components () =
+  (* Pins the paper's connectivity assumption: broadcast consistency is only
+     enforced along edges, so per-component-constant values pass every local
+     check on a disconnected graph — a cross-component equivocation is
+     invisible. *)
+  let g = Graph.disjoint_union (Graph.cycle 3) (Graph.cycle 3) in
+  Alcotest.(check bool) "graph really is disconnected" false (Graph.is_connected g);
+  let net = Network.create ~seed:1 g in
+  let split = Network.broadcast net ~bits:8 [| 42; 42; 42; 7; 7; 7 |] in
+  for v = 0 to 5 do
+    Alcotest.(check bool) (Printf.sprintf "node %d sees no mismatch" v) true
+      (Network.broadcast_consistent_at net split v)
+  done;
+  Alcotest.(check bool) "decide accepts the split" true
+    (Network.decide net (fun v -> Network.broadcast_consistent_at net split v))
+
 let test_unicast_length_mismatch () =
   let net = Network.create ~seed:1 (Graph.path 3) in
   Alcotest.check_raises "mismatch" (Invalid_argument "Network: response length mismatch") (fun () ->
@@ -174,6 +226,13 @@ let suite =
         Alcotest.test_case "non-constant broadcast caught" `Quick
           test_nonconstant_broadcast_always_caught_when_connected;
         Alcotest.test_case "unicast charges" `Quick test_unicast_charges;
+        Alcotest.test_case "unicast_varbits cost accounting" `Quick test_unicast_varbits_accounting;
+        Alcotest.test_case "unicast_varbits length mismatch" `Quick
+          test_unicast_varbits_length_mismatch;
+        Alcotest.test_case "broadcast_consistent_at ?equal hook" `Quick
+          test_broadcast_consistent_at_custom_equal;
+        Alcotest.test_case "equivocation invisible across components" `Quick
+          test_equivocation_not_caught_across_components;
         Alcotest.test_case "unicast length mismatch" `Quick test_unicast_length_mismatch;
         Alcotest.test_case "decide = conjunction" `Quick test_decide_all_must_accept
       ] )
