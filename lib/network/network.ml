@@ -28,6 +28,11 @@ let fault_spec t = match t.fault with Some f -> Fault.spec f | None -> Fault.non
 let crashed t v = match t.fault with Some f -> Fault.crashed f v | None -> false
 let missed t v = t.missed.(v)
 
+let take_missed t =
+  let snapshot = Array.copy t.missed in
+  Array.fill t.missed 0 (Array.length t.missed) false;
+  snapshot
+
 let challenge t ~bits gen =
   Cost.charge_all_to_prover t.cost bits;
   (* Each node owns an independent generator split off the execution seed. *)
@@ -37,8 +42,12 @@ let challenge t ~bits gen =
   | Some f ->
     let round = Fault.next_round f in
     for v = 0 to n t - 1 do
-      (* A dropped challenge never reaches the prover: the sending node has
-         no valid transcript and will reject at decision time. *)
+      (* Delivery failure is modeled purely as decide-time rejection: the
+         drawn value stays in the returned array (and is typically handed to
+         the prover — there is no generic sentinel for 'c), but the sending
+         node is marked missed so {!decide}, or a protocol folding
+         {!take_missed} into its own verdicts, rejects it. Soundness must
+         never depend on hiding a dropped challenge from the prover. *)
       match Fault.deliver f ~round ~node:v a.(v) with
       | Fault.Dropped -> t.missed.(v) <- true
       | Fault.Delivered _ -> ()

@@ -49,12 +49,22 @@ val missed : t -> int -> bool
 (** Has node [v] missed a message (dropped with no [on_drop] default) so
     far? Such a node rejects at {!decide} time. *)
 
+val take_missed : t -> bool array
+(** Snapshot the per-node missed flags and clear them. For protocols that
+    run many repetitions over one execution ({!val:decide} consults the
+    {e live} flags, which otherwise accumulate): folding the snapshot into
+    repetition [i]'s per-node verdicts scopes a drop to the repetition it
+    occurred in instead of poisoning every later one, and leaves the flags
+    clean for the final {!val:decide} over the aggregated verdicts. *)
+
 val challenge : t -> bits:int -> (Ids_bignum.Rng.t -> 'c) -> 'c array
 (** Arthur round: every node draws an independent challenge with the given
     generator and is charged [bits] towards the prover. Under faults, a
     dropped challenge marks the sending node as missed (it rejects: the
     prover never saw its challenge, so no transcript involving it is
-    valid). *)
+    valid). Delivery failure is modeled purely as that decide-time
+    rejection — the drawn value is still present in the returned array and
+    observable by prover code; soundness must not rely on hiding it. *)
 
 val unicast : t -> ?corrupt:(Ids_bignum.Rng.t -> 'r -> 'r) -> ?on_drop:'r -> bits:int -> 'r array -> 'r array
 (** Merlin unicast round: the prover supplies one value per node; every node

@@ -325,10 +325,13 @@ let run_repetition params inst net prover =
     { s with Api.shift = field_corrupt rng s.Api.shift }
   in
   let agg_corrupt rng a =
-    let a = Array.copy a in
-    let i = Rng.int rng (max 1 (Array.length a)) in
-    a.(i) <- field_corrupt rng a.(i);
-    a
+    if Array.length a = 0 then a
+    else begin
+      let a = Array.copy a in
+      let i = Rng.int rng (Array.length a) in
+      a.(i) <- field_corrupt rng a.(i);
+      a
+    end
   in
   let miss_bc = Network.broadcast net ~corrupt:Fault.flip_bool ~bits:1 c.miss in
   let b_bc = Network.broadcast net ~corrupt:(Fault.flip_int_bit ~bits:1) ~bits:1 c.b in
@@ -399,13 +402,18 @@ let run_repetition params inst net prover =
       && spec = specs.(v) && target = targets.(v) && audit_pt = audit.(v)
     else true
   in
-  Array.init n valid_at
+  let valid = Array.init n valid_at in
+  (* Scope delivery failures to this repetition: a drop invalidates the node
+     here and now, and the cleared flags leave the final Network.decide (over
+     the aggregated counts) to judge only crashes. *)
+  let missed = Network.take_missed net in
+  Array.mapi (fun v ok -> ok && not missed.(v)) valid
 
 let run_single ?fault ?params ~seed inst prover =
   let params = match params with Some p -> p | None -> params_for ~seed inst in
   let net = Network.create ?fault ~seed inst.g0 in
   let valid = run_repetition params inst net prover in
-  let accepted = Array.for_all Fun.id valid in
+  let accepted = Network.decide net (fun v -> valid.(v)) in
   Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
 
 let run ?fault ?params ~seed inst prover =
@@ -416,5 +424,5 @@ let run ?fault ?params ~seed inst prover =
     let valid = run_repetition params inst net prover in
     Array.iteri (fun v ok -> if ok then counts.(v) <- counts.(v) + 1) valid
   done;
-  let accepted = Array.for_all (fun c -> c >= params.threshold) counts in
+  let accepted = Network.decide net (fun v -> counts.(v) >= params.threshold) in
   Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)

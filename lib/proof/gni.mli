@@ -119,4 +119,9 @@ val run :
   ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> instance -> prover -> Outcome.t
 (** The full amplified protocol: [params.repetitions] repetitions, per-node
     counting, global accept iff every node's count reaches the threshold.
-    [fault] injects faults into every channel round of every repetition. *)
+    [fault] injects faults into every channel round of every repetition: a
+    dropped message (or challenge) invalidates the affected node for exactly
+    the repetition it occurred in, so completeness degrades with the drop
+    rate, while crashed nodes are judged once at the final decision per the
+    spec's crash mode ({!Ids_network.Fault.Crash_reject} forces rejection,
+    [Crash_vacuous] skips their counts). *)

@@ -193,6 +193,52 @@ let test_dropped_challenge_rejects () =
   Alcotest.(check bool) "challenge drop marks sender missed" true (Network.missed net 0);
   Alcotest.(check bool) "decide rejects" false (Network.decide net (fun _ -> true))
 
+(* --- GNI honors the fault layer's decision semantics --------------------------- *)
+
+(* Regression: GNI's repetition loop used to compute acceptance from the
+   local validity array alone, so drop and crash faults had no effect on its
+   outcomes. Drops must now invalidate the affected node for the repetition
+   they occur in, and crashes must be judged per the spec's crash mode. *)
+
+let gni_instance = lazy (Gni.yes_instance (Rng.create 7) 6)
+
+let test_gni_drop_degrades () =
+  let inst = Lazy.force gni_instance in
+  let params = Gni.params_for ~seed:11 inst in
+  let hits fault =
+    let count = ref 0 in
+    for seed = 1 to 40 do
+      if (Gni.run_single ?fault ~params ~seed inst Gni.honest).Outcome.accepted then incr count
+    done;
+    !count
+  in
+  let clean = hits None in
+  let dropped = hits (Some (Fault.drop_only 0.3)) in
+  Alcotest.(check bool) "clean single-repetition hits occur" true (clean > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "drop degrades completeness (%d -> %d hits of 40)" clean dropped)
+    true (dropped < clean);
+  (* With every message dropped each node misses some round, so even a
+     locally valid repetition cannot be a hit. *)
+  Alcotest.(check bool) "total drop rejects" false
+    (Gni.run_single ~fault:(Fault.drop_only 1.0) ~params ~seed:1 inst Gni.honest).Outcome.accepted
+
+let test_gni_crash_modes () =
+  let inst = Lazy.force gni_instance in
+  let params = Gni.params_for ~repetitions:400 ~seed:11 inst in
+  Alcotest.(check bool) "clean amplified run accepts" true
+    (Gni.run ~params ~seed:1 inst Gni.honest).Outcome.accepted;
+  for seed = 1 to 3 do
+    Alcotest.(check bool) "Crash_reject forces rejection" false
+      (Gni.run ~fault:(Fault.crash_only 1.0) ~params ~seed inst Gni.honest).Outcome.accepted;
+    Alcotest.(check bool) "Crash_vacuous vacuously accepts" true
+      (Gni.run ~fault:(Fault.crash_only ~crash_mode:Fault.Crash_vacuous 1.0) ~params ~seed inst
+         Gni.honest)
+        .Outcome.accepted;
+    Alcotest.(check bool) "total drop rejects the amplified run" false
+      (Gni.run ~fault:(Fault.drop_only 1.0) ~params ~seed inst Gni.honest).Outcome.accepted
+  done
+
 (* --- corrupt hooks ------------------------------------------------------------- *)
 
 let test_corrupt_hooks_change_value () =
@@ -359,6 +405,8 @@ let suite =
         Alcotest.test_case "crash set deterministic" `Quick test_crash_set_deterministic;
         Alcotest.test_case "drop rejects or defaults" `Quick test_drop_rejects_or_defaults;
         Alcotest.test_case "dropped challenge rejects" `Quick test_dropped_challenge_rejects;
+        Alcotest.test_case "GNI completeness degrades under drop" `Slow test_gni_drop_degrades;
+        Alcotest.test_case "GNI crash modes honored" `Slow test_gni_crash_modes;
         Alcotest.test_case "corrupt hooks always change the value" `Quick
           test_corrupt_hooks_change_value
       ] );
