@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make test` is the tier-1 gate.
 
-.PHONY: all test test-fast bench faults clean
+.PHONY: all test test-fast bench bench-modarith faults clean
 
 all:
 	dune build
@@ -17,6 +17,11 @@ test-fast:
 # IDS_DOMAINS / IDS_TRIALS_SCALE / IDS_RUNLOG tune workers, budgets, log path.
 bench:
 	dune exec bench/main.exe -- tables
+
+# Modular-arithmetic kernel microbenchmark: naive Modarith vs the
+# Montgomery/Barrett contexts. Regenerates BENCH_modarith.json.
+bench-modarith:
+	dune exec bench/modarith/main.exe
 
 # Fast fault-sweep smoke: E13 (degradation curves) with reduced trial
 # budgets and no run log. IDS_FAULT_SPEC adds one custom grid point.

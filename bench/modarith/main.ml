@@ -1,0 +1,105 @@
+(* Microbenchmark for the modular-arithmetic kernel: naive Modarith (long
+   division everywhere) versus the precomputed contexts (Montgomery for odd
+   moduli, Barrett for even) across modulus sizes bracketing what the
+   protocols draw.
+
+   Full run:   dune exec bench/modarith/main.exe        (writes BENCH_modarith.json)
+   Smoke run:  dune exec bench/modarith/main.exe -- --smoke
+               (tiny sizes and budgets; wired into @runtest-fast)
+
+   Every timed pair is also cross-checked for equality, so the benchmark
+   doubles as an end-to-end oracle test at sizes the unit tests skip. *)
+
+module Nat = Ids_bignum.Nat
+module Modarith = Ids_bignum.Modarith
+module Rng = Ids_bignum.Rng
+
+type row = {
+  bits : int;
+  parity : string;
+  op : string;
+  reps : int;
+  naive_us : float;
+  ctx_us : float;
+  speedup : float;
+}
+
+let time_us reps f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
+
+let random_modulus rng ~bits ~odd =
+  let top = Nat.shift_left Nat.one (bits - 1) in
+  let m = Nat.add top (Nat.random_below rng top) in
+  let m = if Nat.equal (Nat.rem m (Nat.of_int 2)) Nat.one = odd then m else Nat.add m Nat.one in
+  (* keep the requested bit length after the parity nudge *)
+  if Nat.bit_length m = bits then m else Nat.sub m (Nat.of_int 2)
+
+let check ~what a b =
+  if not (Nat.equal a b) then (
+    Printf.eprintf "FAIL: ctx %s disagrees with naive Modarith\n" what;
+    exit 1)
+
+let bench_modulus ~pow_reps ~mul_reps rng ~bits ~odd =
+  let parity = if odd then "odd" else "even" in
+  let m = random_modulus rng ~bits ~odd in
+  let a = Nat.random_below rng m and b = Nat.random_below rng m in
+  let e = Nat.random_below rng m in
+  let c = Modarith.ctx m in
+  check ~what:"pow" (Modarith.ctx_pow c a e) (Modarith.pow a e m);
+  check ~what:"mul" (Modarith.ctx_mul c a b) (Modarith.mul a b m);
+  let rows =
+    [ { bits; parity; op = "pow"; reps = pow_reps;
+        naive_us = time_us pow_reps (fun () -> Modarith.pow a e m);
+        ctx_us = time_us pow_reps (fun () -> Modarith.ctx_pow c a e);
+        speedup = 0. };
+      { bits; parity; op = "mul"; reps = mul_reps;
+        naive_us = time_us mul_reps (fun () -> Modarith.mul a b m);
+        ctx_us = time_us mul_reps (fun () -> Modarith.ctx_mul c a b);
+        speedup = 0. }
+    ]
+  in
+  List.map (fun r -> { r with speedup = r.naive_us /. r.ctx_us }) rows
+
+let json_of_row r =
+  Printf.sprintf
+    "    {\"bits\": %d, \"parity\": \"%s\", \"op\": \"%s\", \"reps\": %d, \"naive_us\": %.2f, \"ctx_us\": %.2f, \"speedup\": %.2f}"
+    r.bits r.parity r.op r.reps r.naive_us r.ctx_us r.speedup
+
+let () =
+  let smoke = ref false and out = ref "BENCH_modarith.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | "-o" :: path :: rest -> out := path; parse rest
+    | arg :: _ -> Printf.eprintf "unknown argument %s\n" arg; exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let sizes, pow_reps_of, mul_reps =
+    if !smoke then ([ 96; 192 ], (fun _ -> 2), 50)
+    else ([ 256; 512; 1024; 2048 ], (fun bits -> max 3 (20480 / bits)), 2000)
+  in
+  let rng = Rng.create 0x6d0d in
+  let rows =
+    List.concat_map
+      (fun bits ->
+        let pow_reps = pow_reps_of bits in
+        bench_modulus ~pow_reps ~mul_reps rng ~bits ~odd:true
+        @ bench_modulus ~pow_reps ~mul_reps rng ~bits ~odd:false)
+      sizes
+  in
+  Printf.printf "%6s %6s %5s | %12s %12s | %8s\n" "bits" "parity" "op" "naive (us)" "ctx (us)" "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%6d %6s %5s | %12.2f %12.2f | %7.2fx\n" r.bits r.parity r.op r.naive_us
+        r.ctx_us r.speedup)
+    rows;
+  let oc = open_out !out in
+  Printf.fprintf oc "{\n  \"schema_version\": 1,\n  \"mode\": \"%s\",\n  \"results\": [\n%s\n  ]\n}\n"
+    (if !smoke then "smoke" else "full")
+    (String.concat ",\n" (List.map json_of_row rows));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" !out

@@ -49,3 +49,117 @@ let inv a m =
 let inv_int a m =
   if m < 2 then invalid_arg "Modarith.inv_int: modulus must be >= 2";
   Option.map Nat.to_int (inv (Nat.of_int ((a mod m + m) mod m)) (Nat.of_int m))
+
+(* ---- Precomputed per-modulus contexts ---------------------------------- *)
+
+(* Barrett reduction (HAC 14.42): for a k-limb modulus m, precompute
+   mu = floor(b^2k / m) with b = 2^26; then for x < b^2k the quotient guess
+   q3 = floor(floor(x / b^(k-1)) * mu / b^(k+1)) satisfies q3 <= floor(x/m)
+   <= q3 + 2, so x - q3*m is non-negative (Nat has no negatives) and at most
+   two conditional subtracts complete the reduction. Works for any modulus
+   parity, which is why it backs the even-modulus path. *)
+type barrett = {
+  bm : Nat.t;
+  bk : int; (* limb count of bm *)
+  mu : Nat.t; (* floor(2^(52*bk) / bm) *)
+}
+
+let barrett_make m =
+  let bk = (Nat.bit_length m + Nat.base_bits - 1) / Nat.base_bits in
+  { bm = m; bk; mu = Nat.div (Nat.shift_left Nat.one (2 * Nat.base_bits * bk)) m }
+
+let barrett_reduce br x =
+  let q1 = Nat.shift_right x (Nat.base_bits * (br.bk - 1)) in
+  let q3 = Nat.shift_right (Nat.mul q1 br.mu) (Nat.base_bits * (br.bk + 1)) in
+  let r = ref (Nat.sub x (Nat.mul q3 br.bm)) in
+  while Nat.compare !r br.bm >= 0 do
+    r := Nat.sub !r br.bm
+  done;
+  !r
+
+type ctx = {
+  modulus : Nat.t;
+  barrett : barrett;
+  mont : Montgomery.t option; (* odd moduli >= 3 only *)
+}
+
+let ctx_modulus c = c.modulus
+
+let make_ctx m =
+  if Nat.compare m Nat.two < 0 then invalid_arg "Modarith.ctx: modulus must be >= 2";
+  let mont =
+    let limbs = Nat.to_limbs m in
+    if limbs.(0) land 1 = 1 && Nat.compare m Nat.two > 0 then Some (Montgomery.make m) else None
+  in
+  { modulus = m; barrett = barrett_make m; mont }
+
+(* One cache per domain: contexts are immutable once built, but the table
+   itself must not be shared across the engine's worker domains. Bounded so a
+   sweep over many moduli cannot grow it without limit. *)
+let cache_limit = 64
+
+let cache_key : (Nat.t, ctx) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let ctx m =
+  let tbl = Domain.DLS.get cache_key in
+  match Hashtbl.find_opt tbl m with
+  | Some c -> c
+  | None ->
+    let c = make_ctx m in
+    if Hashtbl.length tbl >= cache_limit then Hashtbl.reset tbl;
+    Hashtbl.add tbl m c;
+    c
+
+let reduce c a = if Nat.compare a c.modulus >= 0 then Nat.rem a c.modulus else a
+let ctx_add c a b = add (reduce c a) (reduce c b) c.modulus
+let ctx_sub c a b = sub (reduce c a) (reduce c b) c.modulus
+
+(* A single product is cheaper through Barrett than Montgomery (which needs
+   domain conversions), and the result is identical either way. *)
+let ctx_mul c a b = barrett_reduce c.barrett (Nat.mul (reduce c a) (reduce c b))
+
+(* Even-modulus exponentiation: the same 4-bit window over exponent limbs as
+   {!Montgomery.pow}, with Barrett-reduced products. *)
+let window_bits = 4
+
+let barrett_pow c a e =
+  if Nat.is_zero e then Nat.one
+  else begin
+    let a = reduce c a in
+    let table = Array.make (1 lsl window_bits) Nat.one in
+    table.(1) <- a;
+    for i = 2 to (1 lsl window_bits) - 1 do
+      table.(i) <- ctx_mul c table.(i - 1) a
+    done;
+    let limbs = Nat.to_limbs e in
+    let nbits = Nat.bit_length e in
+    let bit j = limbs.(j / Nat.base_bits) lsr (j mod Nat.base_bits) land 1 in
+    let window w =
+      let lo = w * window_bits in
+      let v = ref 0 in
+      for j = min (lo + window_bits - 1) (nbits - 1) downto lo do
+        v := (!v lsl 1) lor bit j
+      done;
+      !v
+    in
+    let nw = (nbits + window_bits - 1) / window_bits in
+    let acc = ref table.(window (nw - 1)) in
+    for w = nw - 2 downto 0 do
+      for _ = 1 to window_bits do
+        acc := ctx_mul c !acc !acc
+      done;
+      let d = window w in
+      if d <> 0 then acc := ctx_mul c !acc table.(d)
+    done;
+    !acc
+  end
+
+let ctx_pow c a e =
+  match c.mont with
+  | Some mg -> Montgomery.pow mg a e
+  | None -> barrett_pow c a e
+
+let ctx_pow_int c a e =
+  if e < 0 then invalid_arg "Modarith.ctx_pow_int: negative exponent";
+  ctx_pow c a (Nat.of_int e)

@@ -30,3 +30,34 @@ val inv : Nat.t -> Nat.t -> Nat.t option
 
 val inv_int : int -> int -> int option
 (** Native-integer variant of {!inv}. *)
+
+(** {1 Precomputed contexts}
+
+    The functions above pay a full long division per operation and one per
+    exponent bit. A {!ctx} precomputes everything reusable for a fixed
+    modulus — a Montgomery context (odd moduli) and a Barrett [mu] constant
+    (any parity) — so the protocol hot paths do no division at all. Results
+    are bit-identical to the naive functions, which remain the reference
+    oracle for cross-check tests. *)
+
+type ctx
+
+val ctx : Nat.t -> ctx
+(** [ctx m] returns the context for modulus [m >= 2], cached per domain so
+    repeated lookups for the same modulus are free.
+    @raise Invalid_argument if [m < 2]. *)
+
+val ctx_modulus : ctx -> Nat.t
+
+val ctx_add : ctx -> Nat.t -> Nat.t -> Nat.t
+val ctx_sub : ctx -> Nat.t -> Nat.t -> Nat.t
+
+val ctx_mul : ctx -> Nat.t -> Nat.t -> Nat.t
+(** Barrett-reduced product; operands need not be pre-reduced. *)
+
+val ctx_pow : ctx -> Nat.t -> Nat.t -> Nat.t
+(** Windowed exponentiation: Montgomery (CIOS) for odd moduli, Barrett for
+    even ones. Bit-identical to {!pow}. *)
+
+val ctx_pow_int : ctx -> Nat.t -> int -> Nat.t
+(** [ctx_pow_int c a e] for a native exponent [e >= 0]. *)

@@ -1,0 +1,202 @@
+(* Montgomery arithmetic over Nat's 26-bit limbs. Multiplication is product
+   scanning (Comba) followed by a row-wise Montgomery reduction (REDC);
+   squaring halves the product pass by doubling cross terms. With w = 26
+   every intermediate fits a 63-bit native int: a limb product is < 2^52, so
+   a product-scanning column of k <= 512 terms stays under 2^62, and the REDC
+   accumulation t[i+j] + mu*m[j] + carry is at most 2^52 + 2^27.
+
+   The inner loops use unsafe accesses: each index is bounded by [k] or [2k]
+   against arrays allocated with exactly those extents, and this is the
+   innermost loop of every bignum protocol estimate. *)
+
+let base_bits = Nat.base_bits
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = {
+  modulus : Nat.t;
+  m : int array; (* k limbs, little-endian *)
+  k : int;
+  n0 : int; (* -m^(-1) mod 2^26 *)
+  r2 : int array; (* R^2 mod m, R = 2^(26k) *)
+  one_m : int array; (* R mod m: 1 in Montgomery form *)
+}
+
+let modulus t = t.modulus
+
+(* Hensel lifting: for odd m0, x = m0 is an inverse of m0 modulo 8, and each
+   Newton step x <- x(2 - m0 x) doubles the number of correct low bits, so
+   four steps reach >= 26. Everything is taken modulo 2^26 through
+   [land mask] (two's-complement, so the negative intermediate is fine),
+   keeping every product under 2^52. *)
+let neg_inv_limb m0 =
+  let x = ref m0 in
+  for _ = 1 to 4 do
+    let d = (2 - (m0 * !x)) land mask in
+    x := !x * d land mask
+  done;
+  assert (m0 * !x land mask = 1);
+  (base - !x) land mask
+
+(* Pad a normalized limb array to exactly k limbs. *)
+let pad k limbs =
+  let r = Array.make k 0 in
+  Array.blit limbs 0 r 0 (Array.length limbs);
+  r
+
+(* Product scanning: x * y into 2k limbs. Column sums are accumulated in a
+   single native int and carried once per column. *)
+let mul_limbs k x y =
+  let r = Array.make (2 * k) 0 in
+  let acc = ref 0 in
+  for c = 0 to (2 * k) - 2 do
+    let lo = if c >= k then c - k + 1 else 0 in
+    let hi = if c < k then c else k - 1 in
+    for i = lo to hi do
+      acc := !acc + (Array.unsafe_get x i * Array.unsafe_get y (c - i))
+    done;
+    Array.unsafe_set r c (!acc land mask);
+    acc := !acc lsr base_bits
+  done;
+  r.((2 * k) - 1) <- !acc;
+  r
+
+(* Product scanning square: cross terms x_i * x_j (i < j) are summed once
+   into a pair accumulator and doubled per column, the diagonal added once —
+   about half the multiplies of {!mul_limbs}. *)
+let sqr_limbs k x =
+  let r = Array.make (2 * k) 0 in
+  let acc = ref 0 in
+  for c = 0 to (2 * k) - 2 do
+    let lo = if c >= k then c - k + 1 else 0 in
+    (* Floor division ([asr], not [/]) so c = 0 gives an empty pair range. *)
+    let hi = (c - 1) asr 1 in
+    let ps = ref 0 in
+    for i = lo to hi do
+      ps := !ps + (Array.unsafe_get x i * Array.unsafe_get x (c - i))
+    done;
+    acc := !acc + (2 * !ps);
+    if c land 1 = 0 then begin
+      let xi = Array.unsafe_get x (c / 2) in
+      acc := !acc + (xi * xi)
+    end;
+    Array.unsafe_set r c (!acc land mask);
+    acc := !acc lsr base_bits
+  done;
+  r.((2 * k) - 1) <- !acc;
+  r
+
+(* Column-wise Montgomery reduction (the product-scanning half of FIPS):
+   v (up to 2k limbs, value < m * 2^(26k)) to v * R^(-1) mod m, fully reduced
+   into k limbs. Column i determines mu_i = v_i * n0 mod 2^26 such that
+   adding mu_i * m * 2^(26 i) zeroes the column; the high columns then read
+   off the result. Does not mutate v. *)
+let redc t v =
+  let k = t.k and m = t.m and n0 = t.n0 in
+  let lv = Array.length v in
+  let mu = Array.make k 0 in
+  let r = Array.make (k + 1) 0 in
+  let acc = ref 0 in
+  for i = 0 to k - 1 do
+    if i < lv then acc := !acc + Array.unsafe_get v i;
+    for j = 0 to i - 1 do
+      acc := !acc + (Array.unsafe_get mu j * Array.unsafe_get m (i - j))
+    done;
+    let mi = (!acc land mask) * n0 land mask in
+    Array.unsafe_set mu i mi;
+    acc := (!acc + (mi * Array.unsafe_get m 0)) lsr base_bits
+  done;
+  for i = k to (2 * k) - 1 do
+    if i < lv then acc := !acc + Array.unsafe_get v i;
+    for j = i - k + 1 to k - 1 do
+      acc := !acc + (Array.unsafe_get mu j * Array.unsafe_get m (i - j))
+    done;
+    Array.unsafe_set r (i - k) (!acc land mask);
+    acc := !acc lsr base_bits
+  done;
+  r.(k) <- !acc;
+  (* The accumulated value is < 2m (top limb 0 or 1): one conditional
+     subtract completes the reduction. *)
+  let ge_m =
+    r.(k) <> 0
+    ||
+    let rec cmp i = if i < 0 then true else if r.(i) <> m.(i) then r.(i) > m.(i) else cmp (i - 1) in
+    cmp (k - 1)
+  in
+  if ge_m then begin
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let d = r.(i) - m.(i) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  Array.sub r 0 k
+
+let mont_mul t x y = redc t (mul_limbs t.k x y)
+let mont_sqr t x = redc t (sqr_limbs t.k x)
+
+let make modulus =
+  let limbs = Nat.to_limbs modulus in
+  let k = Array.length limbs in
+  if k = 0 || limbs.(0) land 1 = 0 then invalid_arg "Montgomery.make: modulus must be odd";
+  if Nat.compare modulus Nat.two <= 0 then invalid_arg "Montgomery.make: modulus must be >= 3";
+  if k > 512 then invalid_arg "Montgomery.make: modulus too large for product scanning";
+  let r2 = pad k (Nat.to_limbs (Nat.rem (Nat.shift_left Nat.one (2 * base_bits * k)) modulus)) in
+  let t = { modulus; m = limbs; k; n0 = neg_inv_limb limbs.(0); r2; one_m = [||] } in
+  (* 1 in Montgomery form is REDC(R^2) = R mod m. *)
+  { t with one_m = redc t r2 }
+
+let reduce t a = if Nat.compare a t.modulus >= 0 then Nat.rem a t.modulus else a
+let to_mont t a = mont_mul t (pad t.k (Nat.to_limbs (reduce t a))) t.r2
+
+let mul t a b =
+  (* REDC(aR * b) = a*b mod m: only one operand needs the conversion pass. *)
+  Nat.of_limbs (mont_mul t (to_mont t a) (pad t.k (Nat.to_limbs (reduce t b))))
+
+(* 4-bit fixed windows, most significant first, reading bits straight out of
+   the exponent's limb array — no division-by-two loop. *)
+let window_bits = 4
+
+let pow t a e =
+  if Nat.is_zero e then Nat.one (* modulus >= 3, so 1 mod m = 1 *)
+  else begin
+    let am = to_mont t a in
+    let table = Array.make (1 lsl window_bits) t.one_m in
+    table.(1) <- am;
+    for i = 2 to (1 lsl window_bits) - 1 do
+      table.(i) <- mont_mul t table.(i - 1) am
+    done;
+    let limbs = Nat.to_limbs e in
+    let nbits = Nat.bit_length e in
+    let bit j = limbs.(j / base_bits) lsr (j mod base_bits) land 1 in
+    let window w =
+      let lo = w * window_bits in
+      let v = ref 0 in
+      for j = min (lo + window_bits - 1) (nbits - 1) downto lo do
+        v := (!v lsl 1) lor bit j
+      done;
+      !v
+    in
+    let nw = (nbits + window_bits - 1) / window_bits in
+    let acc = ref table.(window (nw - 1)) in
+    for w = nw - 2 downto 0 do
+      for _ = 1 to window_bits do
+        acc := mont_sqr t !acc
+      done;
+      let d = window w in
+      if d <> 0 then acc := mont_mul t !acc table.(d)
+    done;
+    (* Leave the Montgomery domain: REDC of the bare k-limb value. *)
+    Nat.of_limbs (redc t !acc)
+  end
+
+let pow_int t a e =
+  if e < 0 then invalid_arg "Montgomery.pow_int: negative exponent";
+  pow t a (Nat.of_int e)

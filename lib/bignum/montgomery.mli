@@ -1,0 +1,31 @@
+(** Montgomery modular arithmetic for a fixed odd modulus.
+
+    A context precomputes everything that depends only on the modulus — the
+    limb count [k], the Hensel inverse [n0' = -m^(-1) mod 2^26], and
+    [R^2 mod m] for [R = 2^(26k)] — so each multiplication is a single CIOS
+    (coarsely integrated operand scanning) pass over the 26-bit limbs with no
+    long division at all. Exponentiation scans the exponent's limbs directly
+    with a 4-bit window, replacing the one-division-per-bit loop of the naive
+    {!Modarith.pow}.
+
+    Values enter and leave in the ordinary domain: callers never see the
+    Montgomery representation. Results are canonical {!Nat.t} values,
+    bit-identical to what the naive routines produce. *)
+
+type t
+
+val make : Nat.t -> t
+(** [make m] precomputes a context for the odd modulus [m >= 3].
+    @raise Invalid_argument if [m] is even or [< 3]. *)
+
+val modulus : t -> Nat.t
+
+val mul : t -> Nat.t -> Nat.t -> Nat.t
+(** [mul t a b] is [(a * b) mod m]. Operands need not be pre-reduced. *)
+
+val pow : t -> Nat.t -> Nat.t -> Nat.t
+(** [pow t a e] is [a^e mod m] by windowed Montgomery exponentiation. *)
+
+val pow_int : t -> Nat.t -> int -> Nat.t
+(** [pow_int t a e] is [a^e mod m] for a native exponent [e >= 0].
+    @raise Invalid_argument if [e < 0]. *)

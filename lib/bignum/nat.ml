@@ -287,6 +287,10 @@ let to_string a =
       Buffer.contents buf
   end
 
+(* Integer powers of ten for the parsing chunks; [ten_pow.(k) = 10^k] for
+   k <= 7. Exact by construction, unlike a [10. ** k] round-trip. *)
+let ten_pow = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 |]
+
 let of_string s =
   if s = "" then invalid_arg "Nat.of_string: empty";
   String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Nat.of_string: not a digit") s;
@@ -296,10 +300,16 @@ let of_string s =
   while !i < len do
     let take = min 7 (len - !i) in
     let chunk = int_of_string (String.sub s !i take) in
-    acc := add_int (mul_int !acc (int_of_float (10. ** float_of_int take))) chunk;
+    acc := add_int (mul_int !acc ten_pow.(take)) chunk;
     i := !i + take
   done;
   !acc
+
+let to_limbs a = Array.copy a
+
+let of_limbs l =
+  Array.iter (fun x -> if x < 0 || x > mask then invalid_arg "Nat.of_limbs: limb out of range") l;
+  normalize (Array.copy l)
 
 let random_below rng n =
   if is_zero n then invalid_arg "Nat.random_below: zero bound";

@@ -58,6 +58,18 @@ val shift_right : t -> int -> t
 val bit_length : t -> int
 (** Number of significant bits; [bit_length zero = 0]. *)
 
+val base_bits : int
+(** Bits per limb (26). Fixed by the representation; exposed so kernels built
+    on {!to_limbs} (e.g. Montgomery/Barrett reduction) agree on the radix. *)
+
+val to_limbs : t -> int array
+(** Little-endian limbs in base [2^base_bits], normalized (no leading zero
+    limbs; [zero] gives [[||]]). The returned array is a fresh copy. *)
+
+val of_limbs : int array -> t
+(** Inverse of {!to_limbs}; accepts non-normalized input and copies it.
+    @raise Invalid_argument if any limb is outside [\[0, 2^base_bits)]. *)
+
 val of_string : string -> t
 (** Parse a decimal string. @raise Invalid_argument on malformed input. *)
 

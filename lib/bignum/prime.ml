@@ -10,16 +10,19 @@ let is_prime_int n =
     go 3
   end
 
-(* One Miller-Rabin round: n - 1 = d * 2^s with d odd; witness a. *)
-let miller_rabin_round n d s a =
-  let x = Modarith.pow a d n in
+(* One Miller-Rabin round: n - 1 = d * 2^s with d odd; witness a. The context
+   carries the Montgomery precomputation for n (always odd here: even inputs
+   are rejected by the small-prime filter before any round runs). *)
+let miller_rabin_round ctx d s a =
+  let n = Modarith.ctx_modulus ctx in
+  let x = Modarith.ctx_pow ctx a d in
   let n_minus_1 = Nat.sub n Nat.one in
   if Nat.is_one x || Nat.equal x n_minus_1 then true
   else begin
     let rec squaring x i =
       if i >= s - 1 then false
       else
-        let x = Modarith.mul x x n in
+        let x = Modarith.ctx_mul ctx x x in
         if Nat.equal x n_minus_1 then true else squaring x (i + 1)
     in
     squaring x 0
@@ -40,11 +43,12 @@ let is_prime ?(rounds = 32) rng n =
       (* Write n - 1 = d * 2^s with d odd. *)
       let rec split d s = if Nat.is_zero (Nat.rem d Nat.two) then split (Nat.shift_right d 1) (s + 1) else (d, s) in
       let d, s = split n_minus_1 0 in
+      let ctx = Modarith.ctx n in
       let rec rounds_left k =
         if k = 0 then true
         else begin
           let a = Nat.add Nat.two (Nat.random_below rng (Nat.sub n (Nat.of_int 3))) in
-          if miller_rabin_round n d s a then rounds_left (k - 1) else false
+          if miller_rabin_round ctx d s a then rounds_left (k - 1) else false
         end
       in
       rounds_left rounds

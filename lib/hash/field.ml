@@ -54,16 +54,20 @@ let int_field p =
 
 let nat_field p =
   if Nat.compare p Nat.two < 0 then invalid_arg "Field.nat_field: modulus too small";
+  (* One precomputed context (Montgomery for odd p, Barrett otherwise) backs
+     every field operation; values are bit-identical to the naive Modarith
+     functions, just without a long division per op. *)
+  let c = Ids_bignum.Modarith.ctx p in
   { bits = max 1 (Nat.bit_length (Nat.sub p Nat.one));
     size = p;
     zero = Nat.zero;
     one = Nat.one;
-    add = (fun a b -> Ids_bignum.Modarith.add a b p);
-    sub = (fun a b -> Ids_bignum.Modarith.sub a b p);
-    mul = (fun a b -> Ids_bignum.Modarith.mul a b p);
+    add = Ids_bignum.Modarith.ctx_add c;
+    sub = Ids_bignum.Modarith.ctx_sub c;
+    mul = Ids_bignum.Modarith.ctx_mul c;
     equal = Nat.equal;
     of_int = (fun k -> Nat.rem (Nat.of_int k) p);
-    pow_int = (fun a e -> Ids_bignum.Modarith.pow_int a e p);
+    pow_int = Ids_bignum.Modarith.ctx_pow_int c;
     random = (fun rng -> Nat.random_below rng p);
     to_string = Nat.to_string
   }

@@ -29,6 +29,19 @@ let powers f a m =
   done;
   t
 
+(* Decide rounds evaluate row hashes at each node's own copy of the
+   broadcast index, which faults can make diverge across nodes: memoize one
+   power table per distinct index so the honest case builds exactly one. *)
+let powers_memo f m =
+  let tbl = Hashtbl.create 4 in
+  fun a ->
+    match Hashtbl.find_opt tbl a with
+    | Some t -> t
+    | None ->
+      let t = powers f a m in
+      Hashtbl.add tbl a t;
+      t
+
 let row_poly_pow f ~powers s =
   Bitset.fold (fun w acc -> f.Field.add acc powers.(w + 1)) s f.Field.zero
 

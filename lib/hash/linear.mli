@@ -52,6 +52,11 @@ val collision_bound : n:int -> p:int -> float
 val powers : 'a Field.t -> 'a -> int -> 'a array
 (** [powers f a m] is [\[| a^0; a^1; ...; a^m |\]]. *)
 
+val powers_memo : 'a Field.t -> int -> 'a -> 'a array
+(** [powers_memo f m] is a caching [fun a -> powers f a m]: one table per
+    distinct index, shared across calls. The cache is a plain hash table —
+    use one memo per execution, not across domains. *)
+
 val row_hash_pow : 'a Field.t -> powers:'a array -> n:int -> row:int -> Ids_graph.Bitset.t -> 'a
 (** {!row_hash} using a table from [powers] (of length at least [n^2+n+1]). *)
 

@@ -33,8 +33,22 @@ let take_missed t =
   Array.fill t.missed 0 (Array.length t.missed) false;
   snapshot
 
+(* Crashed nodes are silent for the whole execution: they neither send
+   challenges nor receive responses, so the ledger must not charge them
+   (a crashed-silent node billed per round was inflating the E13 crash
+   degradation sweeps). *)
+let charge_live_to_prover t bits =
+  for v = 0 to n t - 1 do
+    if not (crashed t v) then Cost.charge_to_prover t.cost v bits
+  done
+
+let charge_live_from_prover t bits =
+  for v = 0 to n t - 1 do
+    if not (crashed t v) then Cost.charge_from_prover t.cost v bits
+  done
+
 let challenge t ~bits gen =
-  Cost.charge_all_to_prover t.cost bits;
+  charge_live_to_prover t bits;
   (* Each node owns an independent generator split off the execution seed. *)
   let a = Array.init (n t) (fun _ -> gen (Rng.split t.rng)) in
   (match t.fault with
@@ -81,17 +95,17 @@ let apply_faults t ?corrupt ?on_drop ~equivocable responses =
 
 let unicast t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
-  Cost.charge_all_from_prover t.cost bits;
+  charge_live_from_prover t bits;
   apply_faults t ?corrupt ?on_drop ~equivocable:false responses
 
 let unicast_varbits t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
-  Array.iteri (fun v _ -> Cost.charge_from_prover t.cost v (bits v)) responses;
+  Array.iteri (fun v _ -> if not (crashed t v) then Cost.charge_from_prover t.cost v (bits v)) responses;
   apply_faults t ?corrupt ?on_drop ~equivocable:false responses
 
 let broadcast t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
-  Cost.charge_all_from_prover t.cost bits;
+  charge_live_from_prover t bits;
   apply_faults t ?corrupt ?on_drop ~equivocable:true responses
 
 let broadcast_uniform t ?corrupt ?on_drop ~bits value =

@@ -35,15 +35,19 @@ let error_bound ~single_rate ~trials ~threshold =
 let trials_for ~yes_rate ~no_rate ~delta =
   if yes_rate <= no_rate then invalid_arg "Amplify.trials_for: need yes_rate > no_rate";
   if delta <= 0. || delta >= 1. then invalid_arg "Amplify.trials_for: delta in (0,1)";
-  let tau = (yes_rate +. no_rate) /. 2. in
   let gap = (yes_rate -. no_rate) /. 2. in
   let t0 = max 1 (int_of_float (ceil (log (1. /. delta) /. (2. *. gap *. gap)))) in
   (* Rounding the threshold up erodes the YES-side gap; grow t until both
-     Hoeffding bounds actually meet delta. *)
+     Hoeffding bounds actually meet delta. [error_bound] takes the gap
+     through [Float.abs], which reports a bogus small error if a rounded
+     threshold ever landed on the wrong side of a rate — so require the
+     threshold to sit strictly between the two rates as well. *)
   let rec adjust t =
-    let threshold = int_of_float (ceil (tau *. float_of_int t)) in
+    let threshold = Stats.midpoint_threshold ~trials:t ~yes_rate ~no_rate in
+    let tau = float_of_int threshold /. float_of_int t in
     if
-      error_bound ~single_rate:yes_rate ~trials:t ~threshold <= delta
+      no_rate < tau && tau < yes_rate
+      && error_bound ~single_rate:yes_rate ~trials:t ~threshold <= delta
       && error_bound ~single_rate:no_rate ~trials:t ~threshold <= delta
     then (t, threshold)
     else adjust (t + 1)

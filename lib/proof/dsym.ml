@@ -48,9 +48,12 @@ let respond_consistently params inst challenges =
   let sigma = Family.dsym_sigma ~n:inst.n ~r:inst.r in
   let tree = Spanning_tree.bfs g honest_root in
   let i = challenges.(honest_root) in
-  let term_a v = Linear.row_hash f i ~n:size ~row:v (Graph.closed_neighborhood g v) in
+  (* One power table for the shared index replaces a modular exponentiation
+     per row term in both sums. *)
+  let pows = Linear.powers f i ((size * size) + size) in
+  let term_a v = Linear.row_hash_pow f ~powers:pows ~n:size ~row:v (Graph.closed_neighborhood g v) in
   let term_b v =
-    Linear.row_hash f i ~n:size ~row:(Perm.apply sigma v)
+    Linear.row_hash_pow f ~powers:pows ~n:size ~row:(Perm.apply sigma v)
       (Perm.apply_set sigma (Graph.closed_neighborhood g v))
   in
   { index = const size i;
@@ -79,9 +82,10 @@ let adversary_wrong_permutation =
         let sigma = Perm.compose (Family.dsym_sigma ~n:inst.n ~r:inst.r) (Perm.transposition size 0 1) in
         let tree = Spanning_tree.bfs g honest_root in
         let i = challenges.(honest_root) in
-        let term_a v = Linear.row_hash f i ~n:size ~row:v (Graph.closed_neighborhood g v) in
+        let pows = Linear.powers f i ((size * size) + size) in
+        let term_a v = Linear.row_hash_pow f ~powers:pows ~n:size ~row:v (Graph.closed_neighborhood g v) in
         let term_b v =
-          Linear.row_hash f i ~n:size ~row:(Perm.apply sigma v)
+          Linear.row_hash_pow f ~powers:pows ~n:size ~row:(Perm.apply sigma v)
             (Perm.apply_set sigma (Graph.closed_neighborhood g v))
         in
         { index = const size i;
@@ -139,6 +143,7 @@ let run ?fault ?params ~seed inst prover =
   let a_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.a in
   let b_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.b in
   let field_ok x = Aggregation.in_range params.p x in
+  let powers_of = Linear.powers_memo f ((size * size) + size) in
   let decide v =
     structure_ok inst v
     && Network.broadcast_consistent_at net index_bc v
@@ -150,9 +155,11 @@ let run ?fault ?params ~seed inst prover =
     &&
     let children = Aggregation.children g ~parent:parent_u v in
     let neighborhood = Graph.closed_neighborhood g v in
-    let own_a = Linear.row_hash f i ~n:size ~row:v neighborhood in
+    let pows = powers_of i in
+    let own_a = Linear.row_hash_pow f ~powers:pows ~n:size ~row:v neighborhood in
     let own_b =
-      Linear.row_hash f i ~n:size ~row:(Perm.apply sigma v) (Perm.apply_set sigma neighborhood)
+      Linear.row_hash_pow f ~powers:pows ~n:size ~row:(Perm.apply sigma v)
+        (Perm.apply_set sigma neighborhood)
     in
     Aggregation.subtree_equation f ~own:own_a ~claimed:a_u ~children v
     && Aggregation.subtree_equation f ~own:own_b ~claimed:b_u ~children v

@@ -86,7 +86,7 @@ let params_for ?repetitions ~seed inst =
   let q = Ids_bignum.Prime.random_prime_in_int rng (4 * fact) (8 * fact) in
   let yes, no = rate_bounds ~n:inst.n ~q ~k ~factorial:fact in
   let repetitions = match repetitions with Some t -> t | None -> 600 in
-  let threshold = int_of_float (ceil (float_of_int repetitions *. ((yes +. no) /. 2.))) in
+  let threshold = Stats.midpoint_threshold ~trials:repetitions ~yes_rate:yes ~no_rate:no in
   { q;
     field = Field.int_field q;
     copies = k;

@@ -146,7 +146,7 @@ let params_for ?repetitions ~seed inst =
      slipping past the post-commitment audit ((n^2+n)/q). *)
   let no = (fk /. fq) +. (float_of_int ((n * n) + n) /. fq) in
   let repetitions = match repetitions with Some t -> t | None -> 600 in
-  let threshold = int_of_float (ceil (float_of_int repetitions *. ((yes +. no) /. 2.))) in
+  let threshold = Stats.midpoint_threshold ~trials:repetitions ~yes_rate:yes ~no_rate:no in
   { q;
     field = Field.int_field q;
     copies = k;

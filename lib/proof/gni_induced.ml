@@ -214,7 +214,7 @@ let params_for ?repetitions ~seed inst =
   let yes = (s /. fq) -. (s *. s *. (1. +. eps) /. (2. *. fq *. fq)) in
   let no = (fk /. fq) +. (float_of_int m /. fq) in
   let repetitions = match repetitions with Some t -> t | None -> 600 in
-  let threshold = int_of_float (ceil (float_of_int repetitions *. ((yes +. no) /. 2.))) in
+  let threshold = Stats.midpoint_threshold ~trials:repetitions ~yes_rate:yes ~no_rate:no in
   { q;
     field = Field.int_field q;
     copies = kcopies;

@@ -20,6 +20,19 @@ let of_engine (e : Engine.estimate) =
 
 let acceptance ~trials run = of_engine (acceptance_ci ~domains:1 ~trials run)
 
+let midpoint_threshold ~trials ~yes_rate ~no_rate =
+  if trials <= 0 then invalid_arg "Stats.midpoint_threshold: need positive trials";
+  let x = float_of_int trials *. ((yes_rate +. no_rate) /. 2.) in
+  (* Float noise can push an exactly-integer midpoint just above it (e.g.
+     10 * (0.8 + 0.4) / 2 = 6.000000000000001), and ceil then charges a whole
+     extra accept. Snap to the nearest integer when within relative 1e-9
+     before rounding up. *)
+  let nearest = Float.round x in
+  let snapped =
+    if Float.abs (x -. nearest) <= 1e-9 *. Float.max 1. (Float.abs x) then nearest else Float.ceil x
+  in
+  max 0 (min trials (int_of_float snapped))
+
 let threshold_ci ?domains ?plan ~max_trials run =
   let plan = match plan with Some p -> p | None -> Ids_engine.Sprt.definition2 () in
   Engine.run_sprt ?domains ~plan ~max_trials (fun seed -> trial_of_outcome (run seed))

@@ -37,6 +37,14 @@ val threshold_ci :
     questions (default plan {!Ids_engine.Sprt.definition2}): stops as soon
     as the evidence decides "rate >= 2/3" vs "rate <= 1/3". *)
 
+val midpoint_threshold : trials:int -> yes_rate:float -> no_rate:float -> int
+(** [midpoint_threshold ~trials ~yes_rate ~no_rate] is the accept-count
+    threshold [ceil (trials * (yes_rate + no_rate) / 2)], clamped to
+    [\[0, trials\]], with exactly-integer midpoints snapped before the ceil
+    so float noise cannot charge an extra accept (the GNI protocols accept
+    at a node iff its accept count reaches this value, [>=]). Requires
+    [trials > 0]. *)
+
 val trial_of_outcome : Outcome.t -> Ids_engine.Accum.trial
 (** The engine's view of one execution: acceptance bit plus the
     max-per-node bit cost. The adapter every estimator here uses; exposed

@@ -56,12 +56,15 @@ let respond_consistently params g (c : commitment) challenges =
   let tree =
     { Spanning_tree.root; parent = Array.copy c.parent; dist = Array.copy c.dist }
   in
-  let term_a v = Linear.row_hash f i ~n ~row:v (Graph.closed_neighborhood g v) in
+  (* One power table for the shared index replaces a modular exponentiation
+     per row term in both sums. *)
+  let pows = Linear.powers f i ((n * n) + n) in
+  let term_a v = Linear.row_hash_pow f ~powers:pows ~n ~row:v (Graph.closed_neighborhood g v) in
   let rho_of v = c.rho.(v) in
   let term_b v =
     let image = Bitset.create n in
     Bitset.iter (fun u -> Bitset.add image (rho_of u)) (Graph.closed_neighborhood g v);
-    Linear.row_hash f i ~n ~row:(rho_of v) image
+    Linear.row_hash_pow f ~powers:pows ~n ~row:(rho_of v) image
   in
   { index = const n i;
     a = Aggregation.honest_sums f tree ~term:term_a;
@@ -104,6 +107,7 @@ let run ?fault ?params ~seed g prover =
   let b_u = Network.unicast net ~corrupt:field_corrupt ~bits:f.Field.bits r.b in
   (* Verification. *)
   let field_ok x = Aggregation.in_range params.p x in
+  let powers_of = Linear.powers_memo f ((n * n) + n) in
   let decide v =
     Network.broadcast_consistent_at net root_bc v
     && Network.broadcast_consistent_at net index_bc v
@@ -117,10 +121,11 @@ let run ?fault ?params ~seed g prover =
     Bitset.fold (fun u acc -> acc && Aggregation.in_range n rho_u.(u)) neighborhood true
     &&
     let children = Aggregation.children g ~parent:parent_u v in
-    let own_a = Linear.row_hash f i ~n ~row:v neighborhood in
+    let pows = powers_of i in
+    let own_a = Linear.row_hash_pow f ~powers:pows ~n ~row:v neighborhood in
     let image = Bitset.create n in
     Bitset.iter (fun u -> Bitset.add image rho_u.(u)) neighborhood;
-    let own_b = Linear.row_hash f i ~n ~row:rho_u.(v) image in
+    let own_b = Linear.row_hash_pow f ~powers:pows ~n ~row:rho_u.(v) image in
     Aggregation.subtree_equation f ~own:own_a ~claimed:a_u ~children v
     && Aggregation.subtree_equation f ~own:own_b ~claimed:b_u ~children v
     &&

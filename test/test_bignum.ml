@@ -47,6 +47,25 @@ let test_of_string_roundtrip () =
     (fun s -> Alcotest.(check string) s s (Nat.to_string (Nat.of_string s)))
     [ "0"; "1"; "10000000"; "99999999999999999999999999999999"; "340282366920938463463374607431768211456" ]
 
+let test_of_string_chunk_boundaries () =
+  (* The parser consumes seven decimal digits per step with an integer power
+     table (it used to compute the chunk radix through [10. ** k], a float
+     round-trip). Exercise every chunk length 1..7 plus values straddling
+     the 7-digit boundary, against the native oracle. *)
+  List.iteri
+    (fun k want ->
+      Alcotest.(check int)
+        (Printf.sprintf "10^%d" k)
+        want
+        (Nat.to_int (Nat.of_string ("1" ^ String.make k '0'))))
+    [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ];
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (Nat.to_int (Nat.of_string (string_of_int v))))
+    [ 9_999_999; 10_000_000; 10_000_001; 99_999_999; 100_000_000;
+      99_999_999_999_999; 100_000_000_000_000; 123_456_789_012_345 ];
+  (* Leading zeros collapse to the same value. *)
+  Alcotest.check nat "leading zeros" (Nat.of_int 42) (Nat.of_string "0000000000000042")
+
 let test_of_string_malformed () =
   List.iter
     (fun s ->
@@ -186,6 +205,108 @@ let prop_pow_int_matches_pow =
       let na = Nat.of_int a and nm = Nat.of_int m in
       Nat.equal (Modarith.pow_int na e nm) (Modarith.pow na (Nat.of_int e) nm))
 
+(* --- precomputed contexts (Montgomery / Barrett kernel) -------------------- *)
+
+(* Decimal strings of up to ~330 digits (~1100 bits): the dSym modulus regime
+   p ~ n^(n+2), far past anything the native oracle covers. *)
+let gen_huge_string =
+  QCheck.Gen.(
+    let* digits = int_range 1 330 in
+    let* first = int_range 1 9 in
+    let* rest = list_repeat (digits - 1) (int_range 0 9) in
+    return (String.concat "" (List.map string_of_int (first :: rest))))
+
+let arb_huge_string = QCheck.make ~print:(fun s -> s) gen_huge_string
+
+(* Moduli >= 2 of either parity, up to the same size. *)
+let arb_ctx_case =
+  QCheck.make
+    ~print:(fun (a, e, m) -> Printf.sprintf "a=%s e=%s m=%s" a e m)
+    QCheck.Gen.(
+      let* a = gen_huge_string in
+      let* e = gen_big_string in
+      let* m = gen_huge_string in
+      return (a, e, m))
+
+let prop_ctx_matches_naive =
+  QCheck.Test.make ~name:"ctx ops match naive Modarith (odd and even moduli)" ~count:120
+    arb_ctx_case (fun (sa, se, sm) ->
+      let a = Nat.of_string sa and e = Nat.of_string se in
+      let m = Nat.add_int (Nat.of_string sm) 2 (* >= 2 *) in
+      let c = Modarith.ctx m in
+      let ar = Nat.rem a m in
+      Nat.equal (Modarith.ctx_mul c a a) (Modarith.mul a a m)
+      && Nat.equal (Modarith.ctx_pow c a e) (Modarith.pow a e m)
+      && Nat.equal (Modarith.ctx_add c ar ar) (Modarith.add ar ar m)
+      && Nat.equal (Modarith.ctx_sub c ar (Nat.rem e m)) (Modarith.sub ar (Nat.rem e m) m))
+
+let prop_montgomery_matches_naive =
+  QCheck.Test.make ~name:"Montgomery mul/pow match naive Modarith" ~count:120
+    arb_ctx_case (fun (sa, se, sm) ->
+      let a = Nat.of_string sa and e = Nat.of_string se in
+      (* Force the modulus odd and >= 3. *)
+      let m = Nat.of_string sm in
+      let m = if Nat.is_zero (Nat.rem m Nat.two) then Nat.add_int m 1 else m in
+      let m = if Nat.compare m (Nat.of_int 3) < 0 then Nat.of_int 3 else m in
+      let t = Montgomery.make m in
+      Nat.equal (Montgomery.mul t a a) (Modarith.mul a a m)
+      && Nat.equal (Montgomery.pow t a e) (Modarith.pow a e m)
+      && Nat.equal (Montgomery.pow_int t a 17) (Modarith.pow_int a 17 m))
+
+let test_montgomery_rejects_bad_moduli () =
+  Alcotest.check_raises "even" (Invalid_argument "Montgomery.make: modulus must be odd") (fun () ->
+      ignore (Montgomery.make (Nat.of_int 10)));
+  Alcotest.check_raises "one" (Invalid_argument "Montgomery.make: modulus must be >= 3") (fun () ->
+      ignore (Montgomery.make Nat.one))
+
+let test_ctx_fermat () =
+  (* Fermat's little theorem through the fast path, on a ~1000-bit prime:
+     2^(p-1) = 1 mod p for the 9th Mersenne prime 2^521 - 1 and known
+     non-trivial witnesses. *)
+  let p = Nat.sub (Nat.shift_left Nat.one 521) Nat.one in
+  let c = Modarith.ctx p in
+  let a = Nat.of_string "123456789123456789123456789" in
+  Alcotest.check nat "a^(p-1) = 1" Nat.one (Modarith.ctx_pow c a (Nat.sub p Nat.one));
+  Alcotest.check nat "matches naive" (Modarith.pow a (Nat.of_int 65537) p)
+    (Modarith.ctx_pow c a (Nat.of_int 65537))
+
+let test_ctx_even_modulus () =
+  (* The Barrett fallback: a power of two and a doubly-even composite. *)
+  List.iter
+    (fun (m, a, e) ->
+      let m = Nat.of_string m and a = Nat.of_string a and e = Nat.of_string e in
+      let c = Modarith.ctx m in
+      Alcotest.check nat
+        (Printf.sprintf "pow mod %s" (Nat.to_string m))
+        (Modarith.pow a e m) (Modarith.ctx_pow c a e))
+    [ ("1180591620717411303424", "98765432109876543210", "12345");
+      (* 2^70 *)
+      ("340282366920938463463374607431768211456", "170141183460469231731687303715884105727", "99");
+      (* 2^128 *)
+      ("21897604357680877528308623734279007052", "123456789", "1000000007")
+      (* 4 * 3^77 *) ]
+
+let test_ctx_rejects_small_moduli () =
+  Alcotest.check_raises "zero" (Invalid_argument "Modarith.ctx: modulus must be >= 2") (fun () ->
+      ignore (Modarith.ctx Nat.zero));
+  Alcotest.check_raises "one" (Invalid_argument "Modarith.ctx: modulus must be >= 2") (fun () ->
+      ignore (Modarith.ctx Nat.one))
+
+let test_ctx_cached () =
+  (* Same modulus, same cached context (physical equality per domain). *)
+  let m = Nat.of_string "1000000000000000000000000000057" in
+  Alcotest.(check bool) "cache hit" true (Modarith.ctx m == Modarith.ctx m)
+
+let test_nat_limbs_roundtrip () =
+  List.iter
+    (fun s ->
+      let a = Nat.of_string s in
+      Alcotest.check nat s a (Nat.of_limbs (Nat.to_limbs a)))
+    [ "0"; "1"; "67108864"; "123456789012345678901234567890123456789" ];
+  Alcotest.check_raises "limb out of range"
+    (Invalid_argument "Nat.of_limbs: limb out of range") (fun () ->
+      ignore (Nat.of_limbs [| 1 lsl 26 |]))
+
 (* --- primality ------------------------------------------------------------ *)
 
 let test_is_prime_int_known () =
@@ -288,6 +409,7 @@ let suite =
         Alcotest.test_case "of_int rejects negative" `Quick test_of_int_negative;
         Alcotest.test_case "to_string known values" `Quick test_to_string_known;
         Alcotest.test_case "of_string roundtrip" `Quick test_of_string_roundtrip;
+        Alcotest.test_case "of_string chunk boundaries" `Quick test_of_string_chunk_boundaries;
         Alcotest.test_case "of_string malformed" `Quick test_of_string_malformed;
         Alcotest.test_case "sub underflow" `Quick test_sub_underflow;
         Alcotest.test_case "divmod by zero" `Quick test_divmod_by_zero;
@@ -314,6 +436,16 @@ let suite =
     ( "modarith",
       Alcotest.test_case "Fermat little theorem mod 2^127-1" `Quick test_pow_mod_fermat
       :: List.map qtest [ prop_mod_ops_match_int; prop_pow_int_matches_pow ] );
+    ( "modarith:ctx",
+      [ Alcotest.test_case "Fermat via ctx mod 2^521-1" `Quick test_ctx_fermat;
+        Alcotest.test_case "Barrett path on even moduli" `Quick test_ctx_even_modulus;
+        Alcotest.test_case "ctx rejects moduli < 2" `Quick test_ctx_rejects_small_moduli;
+        Alcotest.test_case "ctx cached per modulus" `Quick test_ctx_cached;
+        Alcotest.test_case "Montgomery rejects bad moduli" `Quick test_montgomery_rejects_bad_moduli;
+        Alcotest.test_case "limbs roundtrip" `Quick test_nat_limbs_roundtrip;
+        qtest prop_ctx_matches_naive;
+        qtest prop_montgomery_matches_naive
+      ] );
     ( "prime",
       [ Alcotest.test_case "is_prime_int known" `Quick test_is_prime_int_known;
         Alcotest.test_case "Miller-Rabin known primes/composites" `Quick test_miller_rabin_known;

@@ -92,6 +92,31 @@ let test_shim_matches_sequential_loop () =
     est.Stats.mean_bits;
   Alcotest.(check int) "max_bits" !bits_max est.Stats.max_bits
 
+let test_ctx_cache_deterministic_across_domains () =
+  (* The modular-arithmetic context cache is keyed per domain (Domain.DLS),
+     so parallel workers each build and reuse their own contexts. Results
+     must depend only on the work index, never on which domain's cache
+     served the context — including when the per-domain cache evicts. *)
+  let module Nat = Ids_bignum.Nat in
+  let module Modarith = Ids_bignum.Modarith in
+  let digest i =
+    let rng = Rng.create (0x51ab lxor i) in
+    (* A small pool of moduli so every domain re-hits its cache, mixing odd
+       (Montgomery) and even (Barrett) paths. *)
+    let bound = Nat.shift_left Nat.one (64 + (13 * (i mod 7))) in
+    let m = Nat.add (Nat.random_below rng bound) (Nat.of_int (2 + (i mod 5))) in
+    let c = Modarith.ctx m in
+    let a = Nat.random_below rng m and b = Nat.random_below rng m in
+    let e = Nat.random_below rng (Nat.shift_left Nat.one 48) in
+    Nat.to_string (Modarith.ctx_pow c a e) ^ "/" ^ Nat.to_string (Modarith.ctx_mul c a b)
+  in
+  let reference = Scheduler.map_range ~domains:1 ~lo:0 ~hi:96 digest in
+  List.iter
+    (fun d ->
+      let got = Scheduler.map_range ~domains:d ~lo:0 ~hi:96 digest in
+      Alcotest.(check (array string)) (Printf.sprintf "domains=%d identical" d) reference got)
+    [ 2; 4 ]
+
 let test_scheduler_exception_propagates () =
   Alcotest.check_raises "raised in a worker" (Failure "boom") (fun () ->
       ignore (Scheduler.map_range ~domains:4 ~lo:0 ~hi:64 (fun i -> if i = 37 then failwith "boom" else i)))
@@ -257,6 +282,8 @@ let suite =
         Alcotest.test_case "protocol determinism across domains" `Quick
           test_protocol_determinism_across_domains;
         Alcotest.test_case "shim matches sequential loop" `Quick test_shim_matches_sequential_loop;
+        Alcotest.test_case "ctx cache deterministic across domains" `Quick
+          test_ctx_cache_deterministic_across_domains;
         Alcotest.test_case "worker exception propagates" `Quick test_scheduler_exception_propagates;
         Alcotest.test_case "scaled trials" `Quick test_scaled_trials;
         qtest prop_merge_associative;

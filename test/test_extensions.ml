@@ -189,6 +189,39 @@ let test_amplify_trials_for () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_midpoint_threshold_boundaries () =
+  let thr ~trials ~yes ~no = Stats.midpoint_threshold ~trials ~yes_rate:yes ~no_rate:no in
+  (* Exact integer midpoints must not pick up a float-noise extra accept:
+     10 * (0.8 + 0.4) / 2 is 6.000000000000001 in floats, and the old
+     ceil-only computation returned 7. *)
+  Alcotest.(check int) "exact midpoint 6" 6 (thr ~trials:10 ~yes:0.8 ~no:0.4);
+  Alcotest.(check int) "exact midpoint 360" 360 (thr ~trials:600 ~yes:0.8 ~no:0.4);
+  (* Non-integer midpoints still round up. *)
+  Alcotest.(check int) "fractional rounds up" 7 (thr ~trials:11 ~yes:0.8 ~no:0.4);
+  Alcotest.(check int) "definition-2 even" 300 (thr ~trials:600 ~yes:(2. /. 3.) ~no:(1. /. 3.));
+  Alcotest.(check int) "definition-2 odd" 301 (thr ~trials:601 ~yes:(2. /. 3.) ~no:(1. /. 3.));
+  (* Clamped to the trial count. *)
+  Alcotest.(check int) "clamped" 10 (thr ~trials:10 ~yes:1.0 ~no:1.0);
+  Alcotest.(check int) "zero rates" 0 (thr ~trials:10 ~yes:0.0 ~no:0.0)
+
+let test_amplify_accepts_at_exact_threshold () =
+  (* The acceptance comparison is >=: exactly threshold accepts is enough. *)
+  let run_accepting k seed = (fake_run 1.0) seed |> fun o -> { o with Outcome.accepted = seed <= k } in
+  let at = Amplify.repeat ~trials:10 ~threshold:6 (run_accepting 6) in
+  let below = Amplify.repeat ~trials:10 ~threshold:6 (run_accepting 5) in
+  Alcotest.(check bool) "exactly threshold accepts" true at.Amplify.outcome.Outcome.accepted;
+  Alcotest.(check bool) "one below rejects" false below.Amplify.outcome.Outcome.accepted
+
+let test_gni_threshold_uses_midpoint () =
+  (* The three GNI acceptance thresholds all come from the shared snapped
+     midpoint; pin the relationship on a real parameter draw. *)
+  let inst = Gni.yes_instance (Rng.create 3) 6 in
+  let params = Gni.params_for ~seed:5 inst in
+  Alcotest.(check int) "gni threshold"
+    (Stats.midpoint_threshold ~trials:params.Gni.repetitions
+       ~yes_rate:(Gni.yes_rate_bound params) ~no_rate:(Gni.no_rate_bound params))
+    params.Gni.threshold
+
 let test_amplify_protocol_end_to_end () =
   (* Amplify Protocol 1 to error ~0 on both sides. *)
   let rng = Rng.create 214 in
@@ -222,6 +255,9 @@ let suite =
         Alcotest.test_case "costs sum" `Quick test_amplify_costs_sum;
         Alcotest.test_case "error bound monotone" `Quick test_amplify_error_bound_monotone;
         Alcotest.test_case "trials_for" `Quick test_amplify_trials_for;
+        Alcotest.test_case "midpoint threshold boundaries" `Quick test_midpoint_threshold_boundaries;
+        Alcotest.test_case "accepts at exact threshold" `Quick test_amplify_accepts_at_exact_threshold;
+        Alcotest.test_case "GNI threshold uses snapped midpoint" `Quick test_gni_threshold_uses_midpoint;
         Alcotest.test_case "Protocol 1 amplified end-to-end" `Quick test_amplify_protocol_end_to_end
       ] )
   ]

@@ -85,9 +85,11 @@ let test_zero_fault_matches_direct_run () =
   done
 
 let test_fault_costs_unchanged () =
-  (* The ledger records what the prover transmits, not what arrives, so
-     per-node bit costs are identical at any fault rate. *)
-  let heavy = Fault.make ~drop:0.5 ~corrupt:0.5 ~crash:0.3 ~equivocate:true () in
+  (* The ledger records what the prover transmits, not what arrives, so for
+     delivery faults (drop/corrupt/equivocate) per-node bit costs are
+     identical at any rate. Crash faults are the exception: crashed nodes
+     are silent and must not be billed, covered by the tests below. *)
+  let heavy = Fault.make ~drop:0.5 ~corrupt:0.5 ~equivocate:true () in
   List.iter
     (fun (c : Adversary.case) ->
       for seed = 1 to 3 do
@@ -99,6 +101,58 @@ let test_fault_costs_unchanged () =
         Alcotest.(check int)
           (Printf.sprintf "%s/%s total bits" c.Adversary.protocol c.Adversary.strategy)
           clean.Outcome.total_bits faulted.Outcome.total_bits
+      done)
+    (Adversary.cases ())
+
+let test_crashed_nodes_not_charged () =
+  (* Regression: challenge/unicast/broadcast used to bill crashed-silent
+     nodes for bits they never exchange, inflating crash degradation
+     sweeps. Crashed nodes must end every round with a zero ledger while
+     live nodes are charged exactly the clean amounts. *)
+  let g = Family.random_symmetric (Rng.create 11) 10 in
+  let n = Ids_graph.Graph.n g in
+  let spec = Fault.crash_only 0.4 in
+  let exercise net =
+    let resp = Array.make n 3 in
+    ignore (Network.challenge net ~bits:5 (fun rng -> Rng.bits rng 5));
+    ignore (Network.unicast net ~bits:7 resp);
+    ignore (Network.unicast_varbits net ~bits:(fun v -> v + 1) resp);
+    ignore (Network.broadcast net ~bits:2 resp)
+  in
+  let seen_crash = ref false in
+  for seed = 1 to 10 do
+    let net = Network.create ~fault:spec ~seed g in
+    let clean = Network.create ~seed g in
+    exercise net;
+    exercise clean;
+    for v = 0 to n - 1 do
+      let cost = Ids_network.Cost.node_total (Network.cost net) v in
+      if Network.crashed net v then begin
+        seen_crash := true;
+        Alcotest.(check int) (Printf.sprintf "seed %d: crashed node %d unbilled" seed v) 0 cost
+      end
+      else
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: live node %d billed as clean" seed v)
+          (Ids_network.Cost.node_total (Network.cost clean) v)
+          cost
+    done
+  done;
+  Alcotest.(check bool) "crash fault actually exercised" true !seen_crash
+
+let test_crash_total_bits_bounded () =
+  (* End-to-end view of the same fix: under crash faults the ledger total
+     can only shrink relative to the clean run, never grow. *)
+  let spec = Fault.crash_only 0.3 in
+  List.iter
+    (fun (c : Adversary.case) ->
+      for seed = 1 to 3 do
+        let clean = c.Adversary.run ~fault:Fault.none seed in
+        let faulted = c.Adversary.run ~fault:spec seed in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s total bits bounded" c.Adversary.protocol c.Adversary.strategy)
+          true
+          (faulted.Outcome.total_bits <= clean.Outcome.total_bits)
       done)
     (Adversary.cases ())
 
@@ -398,6 +452,8 @@ let suite =
       [ Alcotest.test_case "zero-rate spec is bit-identical" `Quick test_zero_fault_identical;
         Alcotest.test_case "fault:none equals direct run" `Quick test_zero_fault_matches_direct_run;
         Alcotest.test_case "bit costs unchanged under faults" `Quick test_fault_costs_unchanged;
+        Alcotest.test_case "crashed nodes not charged" `Quick test_crashed_nodes_not_charged;
+        Alcotest.test_case "crash shrinks ledger total" `Quick test_crash_total_bits_bounded;
         Alcotest.test_case "faulted runs reproducible" `Quick test_fault_determinism;
         Alcotest.test_case "equivocation always caught (connected)" `Slow
           test_equivocation_always_caught;
