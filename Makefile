@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make test` is the tier-1 gate.
 
-.PHONY: all test test-fast bench bench-modarith faults clean
+.PHONY: all check test test-fast bench bench-modarith bench-obs faults clean
 
 all:
 	dune build
@@ -8,6 +8,15 @@ all:
 # Tier-1: full build + full test suite (the CI gate).
 test:
 	dune build && dune runtest
+
+# Everything in one command: build, full tests, and every self-test —
+# the modular-arithmetic kernel smoke, the run-log inspector's embedded
+# v2/v3 samples, and the tracing layer's zero-cost-when-disabled bound.
+check:
+	dune build && dune runtest && \
+	dune exec bench/modarith/main.exe -- --smoke && \
+	dune exec bin/ids_inspect.exe -- --self-test && \
+	dune exec bench/obs/main.exe -- --smoke
 
 # Same suite with Monte Carlo trial budgets cut down via IDS_TRIALS_SCALE.
 test-fast:
@@ -22,6 +31,12 @@ bench:
 # Montgomery/Barrett contexts. Regenerates BENCH_modarith.json.
 bench-modarith:
 	dune exec bench/modarith/main.exe
+
+# Tracing-layer overhead assertion: measures the disabled-path cost of
+# every instrumentation primitive and fails if one Protocol 2 run's worth
+# exceeds 2% of the run itself.
+bench-obs:
+	dune exec bench/obs/main.exe
 
 # Fast fault-sweep smoke: E13 (degradation curves) with reduced trial
 # budgets and no run log. IDS_FAULT_SPEC adds one custom grid point.

@@ -14,6 +14,8 @@ module Rng = Ids_bignum.Rng
 module Bits = Ids_network.Bits
 module Engine = Ids_engine.Engine
 module Runlog = Ids_engine.Runlog
+module Obs = Ids_obs.Obs
+module Trace = Ids_obs.Trace
 open Ids_proof
 
 let header title = Printf.printf "\n=== %s ===\n\n" title
@@ -24,9 +26,14 @@ let header title = Printf.printf "\n=== %s ===\n\n" title
    engine buys the extra statistical power back in wall time. *)
 let scaled trials = Engine.scaled_trials ~default_scale:4.0 trials
 
+(* When tracing is on, each estimate's run-log record carries the metrics
+   snapshot covering exactly its own trials. *)
+let metrics_snapshot () = if Obs.enabled () then Some (Obs.snapshot_json (Obs.snapshot ())) else None
+
 let est ~protocol ~n ~prover ~trials run =
+  if Obs.enabled () then Obs.reset_metrics ();
   let e = Stats.acceptance_ci ~trials:(scaled trials) run in
-  Runlog.log ~protocol ~n ~prover e;
+  Runlog.log ?metrics:(metrics_snapshot ()) ~protocol ~n ~prover e;
   e
 
 let rate_of est = est.Engine.rate
@@ -344,8 +351,9 @@ let e8 () =
     "(determ.)" "no witness exists";
   print_endline "\nSPRT early stopping (alpha = beta = 1e-3) on the same threshold questions:";
   let sprt name ~prover run =
+    if Obs.enabled () then Obs.reset_metrics ();
     let e, d = Stats.threshold_ci ~max_trials:(scaled 400) run in
-    Runlog.log ~protocol:"sym_dmam_sprt" ~n:16 ~prover e;
+    Runlog.log ?metrics:(metrics_snapshot ()) ~protocol:"sym_dmam_sprt" ~n:16 ~prover e;
     Printf.printf "  %-24s: decided %s after %d trials (rate %.3f, budget %d)\n" name
       (match d with
       | Some Ids_engine.Sprt.Above -> "rate >= 2/3"
@@ -533,6 +541,59 @@ let e13 () =
   print_endline "bit-for-bit; the bits/node column is constant down each block (the ledger";
   print_endline "records what the prover transmits, delivered or not)."
 
+(* --- E15: observability — the tracing layer's per-round profile ----------------------- *)
+
+let e15 () =
+  header "E15 Observability: per-round bit profile from the tracing layer (IDS_TRACE)";
+  print_endline "Tracing forced on for this experiment; each table is one protocol family's";
+  print_endline "metrics snapshot, averaged over the estimate's trials. The per-round sums";
+  print_endline "come from the same program points as the Cost ledger, so they add up to the";
+  print_endline "bits columns of E1..E5 exactly (pinned by test_obs).";
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  let find name (s : Obs.snapshot) = List.find_opt (fun c -> c.Obs.cname = name) s.Obs.counters in
+  let total name s = match find name s with Some c -> c.Obs.total | None -> 0 in
+  let profile title ~protocol ~n ~prover ~trials run =
+    Obs.reset_metrics ();
+    let e = est ~protocol ~n ~prover ~trials run in
+    let s = Obs.snapshot () in
+    let t = float_of_int e.Engine.trials in
+    Printf.printf "\n%s  (n = %d, %d trials): accept %.3f %s, %.1f bits/node (max)\n" title n
+      e.Engine.trials (rate_of e) (ci e) e.Engine.mean_bits;
+    Printf.printf "  per trial: %.1f bits prover->nodes, %.1f bits nodes->prover, %.1f challenge draws\n"
+      (float_of_int (total "net.from_prover_bits" s) /. t)
+      (float_of_int (total "net.to_prover_bits" s) /. t)
+      (float_of_int (total "net.challenge_draws" s) /. t);
+    (match find "net.from_prover_bits" s with
+    | None -> ()
+    | Some c ->
+      Printf.printf "  %5s | %18s | %14s\n" "round" "bits/trial (down)" "max node cell";
+      List.iter
+        (fun (r : Obs.round_row) ->
+          Printf.printf "  %5d | %18.1f | %14d\n" r.Obs.round (float_of_int r.Obs.sum /. t) r.Obs.max_node)
+        c.Obs.rounds);
+    let pows = total "mont.pow" s in
+    if pows > 0 then
+      Printf.printf "  Montgomery kernel: %.1f pows, %.1f reductions per trial\n"
+        (float_of_int pows /. t)
+        (float_of_int (total "mont.redc" s) /. t)
+  in
+  let rng = Rng.create 15 in
+  let sym16 = Family.random_symmetric rng 16 in
+  profile "Protocol 1 (Sym dMAM)" ~protocol:"sym_dmam" ~n:16 ~prover:"honest" ~trials:40 (fun seed ->
+      Sym_dmam.run ~seed sym16 Sym_dmam.honest);
+  profile "Protocol 2 (Sym dAM)" ~protocol:"sym_dam" ~n:16 ~prover:"honest" ~trials:10 (fun seed ->
+      Sym_dam.run ~seed sym16 Sym_dam.honest);
+  let f8 = Family.random_asymmetric rng 8 in
+  let inst = Dsym.make_instance ~n:8 ~r:2 (Family.dsym_graph f8 2) in
+  profile "DSym (dAM)" ~protocol:"dsym" ~n:8 ~prover:"honest" ~trials:40 (fun seed ->
+      Dsym.run ~seed inst Dsym.honest);
+  let gy = Gni.yes_instance rng 6 in
+  let gparams = Gni.params_for ~seed:7 gy in
+  profile "GNI (dAMAM, single rep)" ~protocol:"gni_single" ~n:6 ~prover:"honest-yes" ~trials:60
+    (fun seed -> Gni.run_single ~params:gparams ~seed gy Gni.honest);
+  Obs.set_enabled was
+
 (* --- Bechamel timing ----------------------------------------------------------------- *)
 
 let timing () =
@@ -604,7 +665,7 @@ let timing () =
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6); ("e7", e7); ("e8", e8);
-    ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13) ]
+    ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12); ("e13", e13); ("e15", e15) ]
 
 let () =
   (* Every estimate printed above is also appended, one JSON object per
@@ -627,6 +688,9 @@ let () =
         let name = if name = "faults" then "e13" else name in
         match List.assoc_opt name experiments with
         | Some f -> f ()
-        | None -> Printf.eprintf "unknown experiment %S (e1..e13, faults, tables, timing)\n" name)
+        | None -> Printf.eprintf "unknown experiment %S (e1..e13, e15, faults, tables, timing)\n" name)
       names);
-  Runlog.close ()
+  Runlog.close ();
+  (* With IDS_TRACE=1 the whole run's spans become one Chrome trace
+     (IDS_TRACE_OUT overrides the path; empty disables). *)
+  ignore (Trace.write_from_env () : string option)

@@ -1,0 +1,106 @@
+(* Pins the "zero-cost when disabled" contract of the tracing layer
+   (lib/obs): with tracing off, every instrumentation point is a flag test
+   plus at most a tail call, so the full set of points executed by one
+   Protocol 2 run must cost under 2% of that run.
+
+   The bound is computed from measurements, not assumed: the disabled-path
+   cost of each primitive is timed in a tight loop, the number of
+   instrumentation calls in one run is counted exactly by running once with
+   tracing ON (Obs.ops_count), and the product is compared to the measured
+   wall time of the disabled-path run. Exits nonzero when the 2% budget is
+   blown.
+
+   Run:          dune exec bench/obs/main.exe
+   Fast smoke:   dune exec bench/obs/main.exe -- --smoke   (runtest-fast) *)
+
+module Obs = Ids_obs.Obs
+module Family = Ids_graph.Family
+module Rng = Ids_bignum.Rng
+open Ids_proof
+
+let budget_pct = 2.0
+
+let time_ns f =
+  let t0 = Obs.now_ns () in
+  f ();
+  Obs.now_ns () - t0
+
+(* ns per call of [f], amortized over [iters] calls. *)
+let per_op iters f =
+  let loop () =
+    for _ = 1 to iters do
+      f ()
+    done
+  in
+  loop () (* warm up *);
+  float_of_int (time_ns loop) /. float_of_int iters
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let iters = if smoke then 200_000 else 5_000_000 in
+  let hot_reps = if smoke then 3 else 12 in
+
+  (* The protocol instance: Protocol 2 (Sym dAM) is the hot path the 2%
+     budget is stated against — bignum field, Montgomery pows, per-node
+     charges, every instrumentation point in the codebase on its path. *)
+  let rng = Rng.create 42 in
+  let g = Family.random_symmetric rng 16 in
+  let params = Sym_dam.params_for ~seed:5 g in
+  let run seed = Sym_dam.run ~params ~seed g Sym_dam.honest in
+
+  Obs.set_enabled false;
+
+  (* Disabled-path primitive costs. *)
+  let probe = Obs.Counter.make "bench.obs.probe" in
+  let hprobe = Obs.Histo.make "bench.obs.hprobe" in
+  let body () = ignore (Sys.opaque_identity 0) in
+  let span_ns = per_op iters (fun () -> Obs.span ~round:1 ~node:1 "bench.obs.span" body) in
+  let add_ns = per_op iters (fun () -> Obs.Counter.add_cell probe ~round:1 ~node:1 1) in
+  let obs_ns = per_op iters (fun () -> Obs.Histo.observe hprobe 7) in
+  let bump_ns = Float.max add_ns obs_ns in
+
+  (* Exact instrumentation-call count for one run, measured with tracing
+     on: every span, counter add, and histogram observation is one call
+     whether or not tracing records it. *)
+  Obs.set_enabled true;
+  Obs.reset ();
+  let traced = run 1 in
+  let spans = List.length (Obs.spans ()) in
+  let calls = Obs.ops_count () in
+  Obs.reset ();
+  Obs.set_enabled false;
+
+  (* The hot path itself, disabled path active (the production default). *)
+  let hot_ns =
+    let best = ref max_float in
+    for rep = 1 to hot_reps do
+      let ns = time_ns (fun () -> ignore (Sys.opaque_identity (run (1000 + rep)))) in
+      if float_of_int ns < !best then best := float_of_int ns
+    done;
+    !best
+  in
+  let untraced = run 1 in
+  if untraced.Outcome.accepted <> traced.Outcome.accepted
+     || untraced.Outcome.total_bits <> traced.Outcome.total_bits
+  then begin
+    prerr_endline "FAIL: tracing changed a protocol outcome (same seed, different result)";
+    exit 1
+  end;
+
+  (* Every call priced at the costliest primitive (the span, which has two
+     optional-argument boxes at the call site on top of the flag test). *)
+  let per_call = Float.max span_ns bump_ns in
+  let overhead_ns = float_of_int calls *. per_call in
+  let pct = 100. *. overhead_ns /. hot_ns in
+  Printf.printf "disabled-path primitives: span %.2f ns, counter add %.2f ns, histo observe %.2f ns\n"
+    span_ns add_ns obs_ns;
+  Printf.printf "one Protocol 2 run (n = 16): %d instrumentation calls (%d spans), %.3f ms wall\n"
+    calls spans (hot_ns /. 1e6);
+  Printf.printf "disabled instrumentation bound: %.1f us = %.3f%% of the run (budget %.1f%%)\n"
+    (overhead_ns /. 1e3) pct budget_pct;
+  if pct > budget_pct then begin
+    Printf.eprintf "FAIL: disabled tracing costs %.3f%% > %.1f%% of the Protocol 2 hot path\n" pct
+      budget_pct;
+    exit 1
+  end;
+  print_endline "OK: disabled tracing is within budget"

@@ -1,0 +1,292 @@
+(* Run-log inspector: per-protocol summary tables, per-round bit profiles,
+   and fault-leak breakdowns from the JSONL run log the bench harness
+   appends to (ids_runs.jsonl by default; schema versions 2 and 3).
+
+   Examples:
+     ids-inspect                         # summarize ./ids_runs.jsonl
+     ids-inspect path/to/runs.jsonl
+     ids-inspect --protocol sym_dmam     # one protocol's tables only
+     ids-inspect --self-test             # parser + renderer smoke (no file) *)
+
+module Runlog = Ids_engine.Runlog
+module Json = Ids_obs.Json
+open Cmdliner
+
+let ceil_log2 k =
+  let rec go b p = if p >= k then b else go (b + 1) (p * 2) in
+  if k <= 1 then 0 else go 0 1
+
+(* The paper's bits-per-node bound for the protocols that have a concrete
+   constant in the reproduction (E1/E2); asymptotic class otherwise. *)
+let bound_for protocol n =
+  match protocol with
+  | "sym_dmam" | "sym_dmam_sprt" -> string_of_int ((16 * ceil_log2 n) + 28)
+  | "sym_dam" -> string_of_int (6 * n * ceil_log2 n)
+  | "dsym" -> "O(log n)"
+  | "gni" | "gni_single" | "gni_full" | "gni_full_run" | "gni_induced" -> "O(n log n)"
+  | _ -> "-"
+
+(* --- grouping ------------------------------------------------------------------ *)
+
+(* One row per (protocol, n, prover, fault): the log is append-only, so the
+   last record of a group is the most recent run; [runs] counts how many the
+   file holds. First-appearance order is preserved everywhere. *)
+type group = { gprotocol : string; gn : int; gprover : string; gfault : string; mutable runs : int; mutable last : Runlog.record }
+
+let group_records records =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Runlog.record) ->
+      let fault = Option.value r.Runlog.fault ~default:"" in
+      let key = (r.Runlog.protocol, r.Runlog.n, r.Runlog.prover, fault) in
+      match Hashtbl.find_opt tbl key with
+      | Some g ->
+        g.runs <- g.runs + 1;
+        g.last <- r
+      | None ->
+        let g = { gprotocol = r.Runlog.protocol; gn = r.Runlog.n; gprover = r.Runlog.prover; gfault = fault; runs = 1; last = r } in
+        Hashtbl.add tbl key g;
+        order := g :: !order)
+    records;
+  List.rev !order
+
+let protocols_in groups =
+  List.fold_left (fun acc g -> if List.mem g.gprotocol acc then acc else g.gprotocol :: acc) [] groups
+  |> List.rev
+
+(* --- metrics access -------------------------------------------------------------- *)
+
+let counter metrics name =
+  match Option.bind metrics (Json.member "counters") with
+  | Some (Json.Arr cs) ->
+    List.find_opt (fun c -> Json.member "name" c |> Fun.flip Option.bind Json.to_string = Some name) cs
+  | _ -> None
+
+let counter_rounds c =
+  match Option.bind c (Json.member "rounds") with
+  | Some (Json.Arr rows) ->
+    Some
+      (List.filter_map
+      (fun row ->
+        match row with
+        | Json.Arr [ r; s; m ] -> (
+          match (Json.to_int r, Json.to_int s, Json.to_int m) with
+          | Some r, Some s, Some m -> Some (r, s, m)
+          | _ -> None)
+        | _ -> None)
+         rows)
+  | _ -> None
+
+let counter_total c = Option.bind c (Json.member "total") |> Fun.flip Option.bind Json.to_int
+
+(* --- report sections -------------------------------------------------------------- *)
+
+let summary_table groups =
+  List.iter
+    (fun protocol ->
+      Printf.printf "\n== %s ==\n" protocol;
+      Printf.printf "%5s  %-22s %-26s %4s %7s %7s %15s %10s %6s %12s\n" "n" "prover" "fault" "runs"
+        "trials" "rate" "95% CI" "bits/node" "max" "paper bound";
+      List.iter
+        (fun g ->
+          if g.gprotocol = protocol then
+            let r = g.last in
+            Printf.printf "%5d  %-22s %-26s %4d %7d %7.3f [%.3f,%.3f] %10.1f %6d %12s\n" g.gn g.gprover
+              (if g.gfault = "" then "-" else g.gfault)
+              g.runs r.Runlog.trials r.Runlog.rate r.Runlog.ci_low r.Runlog.ci_high
+              r.Runlog.mean_bits r.Runlog.max_bits (bound_for protocol g.gn))
+        groups)
+    (protocols_in groups)
+
+(* Per-round bit profile of each group's most recent traced (v3 + metrics)
+   record: the prover->nodes and nodes->prover counters by round, plus the
+   heaviest single-node cell — the max-over-nodes view the paper's per-node
+   bounds are stated in. Counters aggregate the whole estimate, so sums are
+   shown per trial. *)
+let rounds_detail groups =
+  let any = ref false in
+  List.iter
+    (fun g ->
+      let metrics = g.last.Runlog.metrics in
+      let down = counter metrics "net.from_prover_bits" in
+      let up = counter metrics "net.to_prover_bits" in
+      match (counter_rounds down, g.last.Runlog.trials) with
+      | None, _ | _, 0 -> ()
+      | Some down_rounds, trials ->
+        if not !any then begin
+          any := true;
+          print_endline "\n== per-round bit profile (latest traced record per group) ==";
+          print_endline "   bits averaged per trial; `max cell` is the heaviest (round, node) cell"
+        end;
+        let up_rounds = Option.value (counter_rounds up) ~default:[] in
+        let t = float_of_int trials in
+        Printf.printf "\n%s  n = %d  prover = %s%s  (%d trials)\n" g.gprotocol g.gn g.gprover
+          (if g.gfault = "" then "" else Printf.sprintf "  fault = %s" g.gfault)
+          trials;
+        Printf.printf "  %5s | %14s %14s | %10s\n" "round" "down bits" "up bits" "max cell";
+        let rounds =
+          List.sort_uniq compare (List.map (fun (r, _, _) -> r) down_rounds @ List.map (fun (r, _, _) -> r) up_rounds)
+        in
+        List.iter
+          (fun round ->
+            let pick rows = List.find_opt (fun (r, _, _) -> r = round) rows in
+            let sum rows = match pick rows with Some (_, s, _) -> float_of_int s /. t | None -> 0. in
+            let cell rows = match pick rows with Some (_, _, m) -> m | None -> 0 in
+            Printf.printf "  %5d | %14.1f %14.1f | %10d\n" round (sum down_rounds) (sum up_rounds)
+              (max (cell down_rounds) (cell up_rounds)))
+          rounds;
+        (match (counter_total down, counter_total up) with
+        | Some d, Some u ->
+          Printf.printf "  total | %14.1f %14.1f |\n" (float_of_int d /. t) (float_of_int u /. t)
+        | _ -> ()))
+    groups;
+  !any
+
+(* Acceptance-rate deltas against each block's fault="none" baseline — the
+   E13 leak view. For honest provers a negative delta is completeness loss;
+   for adversaries a positive delta is a soundness leak (flagged when it
+   clears the baseline's upper confidence bound). *)
+let fault_breakdown groups =
+  let blocks = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun g ->
+      if g.gfault <> "" then begin
+        let key = (g.gprotocol, g.gn, g.gprover) in
+        if not (Hashtbl.mem blocks key) then begin
+          Hashtbl.add blocks key ();
+          order := key :: !order
+        end
+      end)
+    groups;
+  let any = ref false in
+  List.iter
+    (fun (protocol, n, prover) ->
+      let of_block = List.filter (fun g -> g.gprotocol = protocol && g.gn = n && g.gprover = prover) groups in
+      match List.find_opt (fun g -> g.gfault = "none") of_block with
+      | None -> ()
+      | Some base ->
+        if not !any then begin
+          any := true;
+          print_endline "\n== fault degradation vs the fault=none baseline ==";
+          print_endline "   ! = acceptance above the baseline's CI upper bound (soundness leak if the"
+          ; print_endline "       prover is an adversary; faults should only add reasons to reject)"
+        end;
+        Printf.printf "\n%s  n = %d  prover = %s  (baseline rate %.3f)\n" protocol n prover
+          base.last.Runlog.rate;
+        Printf.printf "  %-36s | %7s %8s | %10s\n" "fault" "rate" "delta" "bits/node";
+        List.iter
+          (fun g ->
+            if g.gfault <> "" && g.gfault <> "none" then
+              let r = g.last in
+              let delta = r.Runlog.rate -. base.last.Runlog.rate in
+              Printf.printf "  %-36s | %7.3f %+8.3f | %10.1f%s\n" g.gfault r.Runlog.rate delta
+                r.Runlog.mean_bits
+                (if r.Runlog.rate > base.last.Runlog.ci_high then "  !" else ""))
+          of_block)
+    (List.rev !order);
+  !any
+
+let report ?protocol records =
+  let records =
+    match protocol with
+    | None -> records
+    | Some p -> List.filter (fun (r : Runlog.record) -> r.Runlog.protocol = p) records
+  in
+  if records = [] then print_endline "no matching records"
+  else begin
+    let groups = group_records records in
+    Printf.printf "%d records, %d groups\n" (List.length records) (List.length groups);
+    summary_table groups;
+    let traced = rounds_detail groups in
+    let faulted = fault_breakdown groups in
+    if not traced then
+      print_endline "\n(no traced records — run the bench with IDS_TRACE=1 for per-round profiles)";
+    ignore faulted
+  end
+
+(* --- self-test --------------------------------------------------------------------- *)
+
+let sample_v2 =
+  {|{"schema_version":2,"protocol":"sym_dmam","n":16,"prover":"honest","trials":80,"accepts":80,"rate":1,"ci_low":0.954,"ci_high":1,"mean_bits":87.2,"max_bits":92,"domains":4,"stopped_early":false}|}
+
+let sample_v2_fault =
+  {|{"schema_version":2,"protocol":"sym_dmam","n":16,"prover":"byzantine:random-perm","fault":"drop=0.05","trials":80,"accepts":6,"rate":0.075,"ci_low":0.035,"ci_high":0.154,"mean_bits":87.2,"max_bits":92,"domains":4,"stopped_early":false}|}
+
+let sample_v2_none =
+  {|{"schema_version":2,"protocol":"sym_dmam","n":16,"prover":"byzantine:random-perm","fault":"none","trials":80,"accepts":3,"rate":0.0375,"ci_low":0.0128,"ci_high":0.105,"mean_bits":87.2,"max_bits":92,"domains":4,"stopped_early":false}|}
+
+let sample_v3 =
+  {|{"schema_version":3,"protocol":"sym_dam","n":8,"prover":"honest","trials":10,"accepts":10,"rate":1,"ci_low":0.722,"ci_high":1,"mean_bits":150.4,"max_bits":161,"domains":2,"stopped_early":false,"metrics":{"counters":[{"name":"net.from_prover_bits","total":1840,"rounds":[[2,1200,160],[3,640,86]]},{"name":"net.to_prover_bits","total":640,"rounds":[[1,640,86]]}],"histos":[{"name":"mont.pow_bits","buckets":[[5,40]]}],"spans_dropped":0}}|}
+
+let sample_unknown =
+  {|{"schema_version":99,"protocol":"x","n":1,"prover":"p","trials":1,"accepts":1,"rate":1,"ci_low":1,"ci_high":1,"mean_bits":1,"max_bits":1,"domains":1,"stopped_early":false}|}
+
+let self_test () =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("self-test FAILED: " ^ m); exit 1) fmt in
+  let ok name line =
+    match Runlog.of_line line with Ok r -> r | Error e -> fail "%s did not parse: %s" name e
+  in
+  let v2 = ok "v2 sample" sample_v2 in
+  if v2.Runlog.version <> 2 || v2.Runlog.metrics <> None then fail "v2 sample misread";
+  let v2f = ok "v2 fault sample" sample_v2_fault in
+  if v2f.Runlog.fault <> Some "drop=0.05" then fail "fault label lost";
+  let v3 = ok "v3 sample" sample_v3 in
+  if v3.Runlog.version <> 3 then fail "v3 version misread";
+  let down = counter v3.Runlog.metrics "net.from_prover_bits" in
+  (match counter_total down with
+  | Some 1840 -> ()
+  | _ -> fail "v3 metrics counter total misread");
+  (match counter_rounds down with
+  | Some [ (2, 1200, 160); (3, 640, 86) ] -> ()
+  | _ -> fail "v3 per-round cells misread");
+  (match Runlog.of_line sample_unknown with
+  | Error e when String.length e >= 22 && String.sub e 0 22 = "unknown schema_version" -> ()
+  | Error e -> fail "wrong error for v99: %s" e
+  | Ok _ -> fail "v99 record accepted");
+  (match Runlog.of_line "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> fail "garbage line accepted");
+  if bound_for "sym_dmam" 16 <> "92" then fail "paper bound (Protocol 1, n=16) wrong";
+  if bound_for "sym_dam" 16 <> "384" then fail "paper bound (Protocol 2, n=16) wrong";
+  (* Exercise every renderer section on the embedded samples. *)
+  report [ v2; v2f; ok "v2 none sample" sample_v2_none; v3 ];
+  print_endline "\nids-inspect self-test: OK";
+  0
+
+(* --- CLI ----------------------------------------------------------------------------- *)
+
+let run file protocol self =
+  if self then self_test ()
+  else if not (Sys.file_exists file) then begin
+    Printf.eprintf "ids-inspect: no run log at %S (run the bench first, or pass a path)\n" file;
+    1
+  end
+  else
+    match Runlog.read_file file with
+    | Error e ->
+      Printf.eprintf "ids-inspect: %s\n" e;
+      1
+    | Ok records ->
+      Printf.printf "%s:\n" file;
+      report ?protocol records;
+      0
+
+let cmd =
+  let file_t =
+    let doc = "The JSONL run log to inspect." in
+    Arg.(value & pos 0 string "ids_runs.jsonl" & info [] ~docv:"FILE" ~doc)
+  in
+  let protocol_t =
+    let doc = "Only show records of this protocol (e.g. sym_dmam, dsym, gni_single)." in
+    Arg.(value & opt (some string) None & info [ "protocol" ] ~doc)
+  in
+  let self_t =
+    let doc = "Run the built-in parser/renderer smoke test and exit (reads no files)." in
+    Arg.(value & flag & info [ "self-test" ] ~doc)
+  in
+  let doc = "Inspect the machine-readable run log of the IDS bench harness" in
+  Cmd.v (Cmd.info "ids-inspect" ~version:"1.0.0" ~doc) Term.(const run $ file_t $ protocol_t $ self_t)
+
+let () = exit (Cmd.eval' cmd)

@@ -13,6 +13,15 @@ let base_bits = Nat.base_bits
 let base = 1 lsl base_bits
 let mask = base - 1
 
+module Obs = Ids_obs.Obs
+
+(* Hot-path accounting: one counter bump per exponentiation, never per limb
+   or per column. The REDC count is derived arithmetically from the window
+   walk, so the disabled path costs a single flag test. *)
+let c_pow = Obs.Counter.make "mont.pow"
+let c_redc = Obs.Counter.make "mont.redc"
+let h_pow_bits = Obs.Histo.make "mont.pow_bits"
+
 type t = {
   modulus : Nat.t;
   m : int array; (* k limbs, little-endian *)
@@ -186,13 +195,25 @@ let pow t a e =
     in
     let nw = (nbits + window_bits - 1) / window_bits in
     let acc = ref table.(window (nw - 1)) in
+    let nmul = ref 0 in
     for w = nw - 2 downto 0 do
       for _ = 1 to window_bits do
         acc := mont_sqr t !acc
       done;
       let d = window w in
-      if d <> 0 then acc := mont_mul t !acc table.(d)
+      if d <> 0 then begin
+        incr nmul;
+        acc := mont_mul t !acc table.(d)
+      end
     done;
+    if Obs.enabled () then begin
+      Obs.Counter.add c_pow 1;
+      (* to_mont + table fill + window squares + window multiplies + the
+         final domain exit below — each is exactly one REDC. *)
+      Obs.Counter.add c_redc
+        (1 + ((1 lsl window_bits) - 2) + (window_bits * (nw - 1)) + !nmul + 1);
+      Obs.Histo.observe h_pow_bits nbits
+    end;
     (* Leave the Montgomery domain: REDC of the bare k-limb value. *)
     Nat.of_limbs (redc t !acc)
   end

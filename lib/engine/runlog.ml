@@ -1,3 +1,5 @@
+module Json = Ids_obs.Json
+
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
@@ -14,57 +16,162 @@ let escape s =
 
 (* Bumped whenever a field is added, renamed, or re-typed, so downstream
    consumers can dispatch without sniffing. History: 1 = the PR-1 format
-   (no version field); 2 = adds schema_version and the optional fault label. *)
-let schema_version = 2
+   (no version field); 2 = adds schema_version and the optional fault label;
+   3 = adds the optional embedded Obs metrics snapshot. *)
+let schema_version = 3
 
-let to_json ?fault ~protocol ~n ~prover (e : Engine.estimate) =
+let min_supported_version = 2
+
+let to_json ?fault ?metrics ~protocol ~n ~prover (e : Engine.estimate) =
   let fault_field =
     match fault with
     | None -> ""
     | Some f -> Printf.sprintf "\"fault\":\"%s\"," (escape f)
   in
+  let metrics_field =
+    (* [metrics] is a pre-rendered JSON object (Obs.snapshot_json); embedding
+       it raw keeps the line a single valid JSON document. *)
+    match metrics with None -> "" | Some m -> Printf.sprintf ",\"metrics\":%s" m
+  in
   Printf.sprintf
-    "{\"schema_version\":%d,\"protocol\":\"%s\",\"n\":%d,\"prover\":\"%s\",%s\"trials\":%d,\"accepts\":%d,\"rate\":%.6g,\"ci_low\":%.6g,\"ci_high\":%.6g,\"mean_bits\":%.6g,\"max_bits\":%d,\"domains\":%d,\"stopped_early\":%b}"
+    "{\"schema_version\":%d,\"protocol\":\"%s\",\"n\":%d,\"prover\":\"%s\",%s\"trials\":%d,\"accepts\":%d,\"rate\":%.6g,\"ci_low\":%.6g,\"ci_high\":%.6g,\"mean_bits\":%.6g,\"max_bits\":%d,\"domains\":%d,\"stopped_early\":%b%s}"
     schema_version (escape protocol) n (escape prover) fault_field e.Engine.trials
     e.Engine.accepts e.Engine.rate e.Engine.ci_low e.Engine.ci_high e.Engine.mean_bits
-    e.Engine.max_bits e.Engine.domains e.Engine.stopped_early
+    e.Engine.max_bits e.Engine.domains e.Engine.stopped_early metrics_field
 
-(* The sink is process-global; [owned] distinguishes channels this module
-   opened (and must close) from externally supplied ones. *)
-let sink : out_channel option ref = ref None
+(* The sink is process-global. A [Pending] path is only opened (and the
+   file only created) on the first record actually logged, so runs that
+   never log leave no artifact behind; [owned] distinguishes channels this
+   module opened (and must close) from externally supplied ones. *)
+type state = Closed | Pending of string | Open of out_channel
+
+let sink : state ref = ref Closed
 let owned = ref false
 
 let close () =
   (match !sink with
-  | Some oc ->
+  | Open oc ->
     flush oc;
     if !owned then close_out_noerr oc
-  | None -> ());
-  sink := None;
+  | Pending _ | Closed -> ());
+  sink := Closed;
   owned := false
 
 let set_sink oc =
   close ();
-  sink := oc
+  match oc with None -> () | Some oc -> sink := Open oc
 
 let open_from_env ?default () =
   let path = match Sys.getenv_opt "IDS_RUNLOG" with Some p -> Some p | None -> default in
-  match path with
-  | None | Some "" -> close ()
-  | Some path -> (
-    close ();
+  close ();
+  match path with None | Some "" -> () | Some path -> sink := Pending path
+
+let channel () =
+  match !sink with
+  | Closed -> None
+  | Open oc -> Some oc
+  | Pending path -> (
     match open_out_gen [ Open_append; Open_creat ] 0o644 path with
     | oc ->
-      sink := Some oc;
-      owned := true
+      sink := Open oc;
+      owned := true;
+      Some oc
     | exception Sys_error msg ->
       (* An unwritable log path shouldn't abort a long benchmark run. *)
-      Printf.eprintf "warning: run log disabled (%s)\n%!" msg)
+      Printf.eprintf "warning: run log disabled (%s)\n%!" msg;
+      sink := Closed;
+      None)
 
-let log ?fault ~protocol ~n ~prover e =
-  match !sink with
+let log ?fault ?metrics ~protocol ~n ~prover e =
+  match channel () with
   | None -> ()
   | Some oc ->
-    output_string oc (to_json ?fault ~protocol ~n ~prover e);
+    output_string oc (to_json ?fault ?metrics ~protocol ~n ~prover e);
     output_char oc '\n';
     flush oc
+
+(* --- reading records back ----------------------------------------------------- *)
+
+type record = {
+  version : int;
+  protocol : string;
+  n : int;
+  prover : string;
+  fault : string option;
+  trials : int;
+  accepts : int;
+  rate : float;
+  ci_low : float;
+  ci_high : float;
+  mean_bits : float;
+  max_bits : int;
+  domains : int;
+  stopped_early : bool;
+  metrics : Json.t option;
+}
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* version = field "schema_version" Json.to_int in
+  if version < min_supported_version || version > schema_version then
+    Error
+      (Printf.sprintf "unknown schema_version %d (this reader supports %d..%d)" version
+         min_supported_version schema_version)
+  else
+    let* protocol = field "protocol" Json.to_string in
+    let* n = field "n" Json.to_int in
+    let* prover = field "prover" Json.to_string in
+    let* trials = field "trials" Json.to_int in
+    let* accepts = field "accepts" Json.to_int in
+    let* rate = field "rate" Json.to_float in
+    let* ci_low = field "ci_low" Json.to_float in
+    let* ci_high = field "ci_high" Json.to_float in
+    let* mean_bits = field "mean_bits" Json.to_float in
+    let* max_bits = field "max_bits" Json.to_int in
+    let* domains = field "domains" Json.to_int in
+    let* stopped_early = field "stopped_early" Json.to_bool in
+    Ok
+      { version;
+        protocol;
+        n;
+        prover;
+        fault = Option.bind (Json.member "fault" j) Json.to_string;
+        trials;
+        accepts;
+        rate;
+        ci_low;
+        ci_high;
+        mean_bits;
+        max_bits;
+        domains;
+        stopped_early;
+        metrics = Json.member "metrics" j
+      }
+
+let of_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok j -> of_json j
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go (lineno + 1) acc
+          | line -> (
+            match of_line line with
+            | Ok r -> go (lineno + 1) (r :: acc)
+            | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e))
+        in
+        go 1 [])

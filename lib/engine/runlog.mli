@@ -1,37 +1,83 @@
 (** Machine-readable run log: one JSON line per estimate.
 
     The bench harness records every estimate it prints, so downstream
-    tooling (plots, regression tracking across commits) can consume the
-    experiment tables without scraping stdout. Line format:
+    tooling ([ids_inspect], plots, regression tracking across commits) can
+    consume the experiment tables without scraping stdout. Line format:
 
     {v
-    {"schema_version":2,"protocol":"sym_dmam","n":16,"prover":"honest",
+    {"schema_version":3,"protocol":"sym_dmam","n":16,"prover":"honest",
      "trials":240,"accepts":240,"rate":1.0,"ci_low":0.98413,"ci_high":1.0,
      "mean_bits":87.1,"max_bits":92,"domains":4,"stopped_early":false}
     v}
 
     Fault-sweep records additionally carry a ["fault"] field holding the
-    [Fault.to_string]-style label of the injected spec. *)
+    [Fault.to_string]-style label of the injected spec; records written
+    while tracing ([IDS_TRACE=1]) is on carry a ["metrics"] object — the
+    {!Ids_obs.Obs.snapshot_json} snapshot covering that estimate's trials.
+
+    The reader half ({!of_line}, {!read_file}) accepts schema versions 2
+    and 3 in the same file (version 2 lines simply have no metrics) and
+    reports an explicit error for anything else. *)
 
 val schema_version : int
 (** Version stamped on every record; bumped on any format change. *)
 
-val to_json : ?fault:string -> protocol:string -> n:int -> prover:string -> Engine.estimate -> string
+val min_supported_version : int
+(** Oldest version {!of_json} still reads (currently 2). *)
+
+val to_json :
+  ?fault:string -> ?metrics:string -> protocol:string -> n:int -> prover:string -> Engine.estimate -> string
 (** The JSON object for one estimate (a single line, no trailing newline).
-    [fault] adds the fault-spec label field. *)
+    [fault] adds the fault-spec label field; [metrics] embeds a
+    pre-rendered JSON object (use {!Ids_obs.Obs.snapshot_json}). *)
 
 val set_sink : out_channel option -> unit
 (** Route subsequent {!log} calls to the given channel (or drop them). *)
 
 val open_from_env : ?default:string -> unit -> unit
-(** Open the sink named by the [IDS_RUNLOG] environment variable (appending),
-    falling back to [default] when the variable is unset; an empty value
-    disables logging. No default and no variable means no sink. An
-    unwritable path prints a warning on stderr and disables logging rather
-    than aborting the run. *)
+(** Point the sink at the path named by the [IDS_RUNLOG] environment
+    variable (appending), falling back to [default] when the variable is
+    unset; an empty value disables logging. No default and no variable
+    means no sink. The file is created lazily — only when the first record
+    is logged — so runs that log nothing leave no artifact. An unwritable
+    path prints a warning on stderr (at first write) and disables logging
+    rather than aborting the run. *)
 
-val log : ?fault:string -> protocol:string -> n:int -> prover:string -> Engine.estimate -> unit
+val log :
+  ?fault:string -> ?metrics:string -> protocol:string -> n:int -> prover:string -> Engine.estimate -> unit
 (** Append one JSON line to the sink, if any (no-op otherwise). *)
 
 val close : unit -> unit
 (** Flush and close the current sink, if it was opened by this module. *)
+
+(** {1 Reading records back} *)
+
+type record = {
+  version : int;
+  protocol : string;
+  n : int;
+  prover : string;
+  fault : string option;
+  trials : int;
+  accepts : int;
+  rate : float;
+  ci_low : float;
+  ci_high : float;
+  mean_bits : float;
+  max_bits : int;
+  domains : int;
+  stopped_early : bool;
+  metrics : Ids_obs.Json.t option;  (** present on (some) version-3 records *)
+}
+
+val of_json : Ids_obs.Json.t -> (record, string) result
+(** Decode one parsed line. Versions 2 and 3 are accepted; any other
+    [schema_version] is an explicit error naming the supported range. *)
+
+val of_line : string -> (record, string) result
+(** Parse + decode one log line. *)
+
+val read_file : string -> (record list, string) result
+(** All records of a JSONL file, in file order; the first malformed or
+    unsupported line aborts with ["path:lineno: reason"]. Blank lines are
+    skipped. *)

@@ -1,7 +1,17 @@
+module Obs = Ids_obs.Obs
+
+(* One span per claimed chunk, labeled with the chunk index as the round.
+   Each worker domain appends to its own Domain.DLS shard; the shards stay
+   registered in Obs's global list after the joins below, which is what
+   "merged at scheduler join" means operationally — Obs.snapshot/spans read
+   them once no worker is running. *)
+let traced f i = Obs.span ~round:i "scheduler.chunk" (fun () -> f i)
+
 let map_range ~domains ~lo ~hi f =
   let n = hi - lo in
   if n <= 0 then [||]
   else begin
+    let f = if Obs.enabled () then traced f else f in
     let workers = Int.min (Int.max 1 domains) n in
     if workers = 1 then Array.init n (fun i -> f (lo + i))
     else begin

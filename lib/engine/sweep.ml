@@ -1,10 +1,16 @@
 type 's point = { spec : 's; label : string; estimate : Engine.estimate }
 
+module Obs = Ids_obs.Obs
+
 let run ?domains ?chunk ~protocol ~n ~prover ~trials ~label ~specs f =
   List.map
     (fun spec ->
+      (* Scope the metrics snapshot to this point so each sweep record's
+         counters cover exactly its own trials. *)
+      if Obs.enabled () then Obs.reset_metrics ();
       let estimate = Engine.run ?domains ?chunk ~trials (fun seed -> f spec seed) in
+      let metrics = if Obs.enabled () then Some (Obs.snapshot_json (Obs.snapshot ())) else None in
       let label = label spec in
-      Runlog.log ~fault:label ~protocol ~n ~prover estimate;
+      Runlog.log ~fault:label ?metrics ~protocol ~n ~prover estimate;
       { spec; label; estimate })
     specs

@@ -33,4 +33,7 @@ val run :
     [f spec seed] over [seed = 1 .. trials] for each spec in order, logging
     each estimate with {!Runlog.log} under the spec's label (the [fault]
     record field). [protocol], [n], and [prover] are the run-log identity
-    fields; [domains] and [chunk] are passed to {!Engine.run}. *)
+    fields; [domains] and [chunk] are passed to {!Engine.run}. When tracing
+    is on ([IDS_TRACE=1]) the metrics registry is reset before each point
+    and a snapshot covering exactly that point's trials is embedded in its
+    record. *)

@@ -1,6 +1,16 @@
 module Graph = Ids_graph.Graph
 module Bitset = Ids_graph.Bitset
 module Rng = Ids_bignum.Rng
+module Obs = Ids_obs.Obs
+
+(* Per-round, per-node bit counters mirror the Cost ledger charge for
+   charge: their totals sum exactly to Cost.total over the traced window. *)
+let c_to_prover = Obs.Counter.make "net.to_prover_bits"
+let c_from_prover = Obs.Counter.make "net.from_prover_bits"
+let c_draws = Obs.Counter.make "net.challenge_draws"
+let c_fault_decisions = Obs.Counter.make "net.fault_decisions"
+let c_fault_drops = Obs.Counter.make "net.fault_drops"
+let h_msg_bits = Obs.Histo.make "net.msg_bits"
 
 type t = {
   graph : Graph.t;
@@ -8,6 +18,7 @@ type t = {
   rng : Rng.t;
   fault : Fault.t option;
   missed : bool array;
+  mutable round : int;
 }
 
 let create ?fault ~seed graph =
@@ -17,12 +28,27 @@ let create ?fault ~seed graph =
     | Some spec when not (Fault.is_none spec) -> Some (Fault.create ~seed ~n spec)
     | Some _ | None -> None
   in
-  { graph; cost = Cost.create n; rng = Rng.create seed; fault; missed = Array.make n false }
+  { graph;
+    cost = Cost.create n;
+    rng = Rng.create seed;
+    fault;
+    missed = Array.make n false;
+    round = 0
+  }
 
 let graph t = t.graph
 let n t = Graph.n t.graph
 let cost t = t.cost
 let rng t = t.rng
+let current_round t = t.round
+
+(* Every channel operation (challenge, unicast, broadcast) is one round;
+   the counter exists whether or not tracing is on, so round numbering in
+   traces matches what a protocol would compute by hand. It is independent
+   of Fault's internal round counter, which keys fault randomness. *)
+let next_round t =
+  t.round <- t.round + 1;
+  t.round
 
 let fault_spec t = match t.fault with Some f -> Fault.spec f | None -> Fault.none
 let crashed t v = match t.fault with Some f -> Fault.crashed f v | None -> false
@@ -37,76 +63,107 @@ let take_missed t =
    challenges nor receive responses, so the ledger must not charge them
    (a crashed-silent node billed per round was inflating the E13 crash
    degradation sweeps). *)
-let charge_live_to_prover t bits =
+let charge_live_to_prover t ~round bits =
   for v = 0 to n t - 1 do
-    if not (crashed t v) then Cost.charge_to_prover t.cost v bits
+    if not (crashed t v) then begin
+      Cost.charge_to_prover t.cost v bits;
+      Obs.Counter.add_cell c_to_prover ~round ~node:v bits
+    end
   done
 
-let charge_live_from_prover t bits =
+let charge_live_from_prover t ~round bits =
   for v = 0 to n t - 1 do
-    if not (crashed t v) then Cost.charge_from_prover t.cost v bits
+    if not (crashed t v) then begin
+      Cost.charge_from_prover t.cost v bits;
+      Obs.Counter.add_cell c_from_prover ~round ~node:v bits
+    end
   done
 
 let challenge t ~bits gen =
-  charge_live_to_prover t bits;
-  (* Each node owns an independent generator split off the execution seed. *)
-  let a = Array.init (n t) (fun _ -> gen (Rng.split t.rng)) in
-  (match t.fault with
-  | None -> ()
-  | Some f ->
-    let round = Fault.next_round f in
-    for v = 0 to n t - 1 do
-      (* Delivery failure is modeled purely as decide-time rejection: the
-         drawn value stays in the returned array (and is typically handed to
-         the prover — there is no generic sentinel for 'c), but the sending
-         node is marked missed so {!decide}, or a protocol folding
-         {!take_missed} into its own verdicts, rejects it. Soundness must
-         never depend on hiding a dropped challenge from the prover. *)
-      match Fault.deliver f ~round ~node:v a.(v) with
-      | Fault.Dropped -> t.missed.(v) <- true
-      | Fault.Delivered _ -> ()
-    done);
-  a
+  let round = next_round t in
+  Obs.span ~round "net.challenge" (fun () ->
+      charge_live_to_prover t ~round bits;
+      if Obs.enabled () then begin
+        Obs.Counter.add c_draws (n t);
+        Obs.Histo.observe h_msg_bits bits
+      end;
+      (* Each node owns an independent generator split off the execution seed. *)
+      let a = Array.init (n t) (fun _ -> gen (Rng.split t.rng)) in
+      (match t.fault with
+      | None -> ()
+      | Some f ->
+        let fround = Fault.next_round f in
+        for v = 0 to n t - 1 do
+          Obs.Counter.add_cell c_fault_decisions ~round ~node:v 1;
+          (* Delivery failure is modeled purely as decide-time rejection: the
+             drawn value stays in the returned array (and is typically handed to
+             the prover — there is no generic sentinel for 'c), but the sending
+             node is marked missed so {!decide}, or a protocol folding
+             {!take_missed} into its own verdicts, rejects it. Soundness must
+             never depend on hiding a dropped challenge from the prover. *)
+          match Fault.deliver f ~round:fround ~node:v a.(v) with
+          | Fault.Dropped ->
+            t.missed.(v) <- true;
+            Obs.Counter.add_cell c_fault_drops ~round ~node:v 1
+          | Fault.Delivered _ -> ()
+        done);
+      a)
 
 let check_length t a = if Array.length a <> n t then invalid_arg "Network: response length mismatch"
 
 (* Per-node delivery over one prover-response round. Equivocation (broadcast
    rounds only) corrupts the keyed victim's copy after regular delivery, so
    the spec's drop/corrupt rates and the equivocation attack compose. *)
-let apply_faults t ?corrupt ?on_drop ~equivocable responses =
+let apply_faults t ?corrupt ?on_drop ~round ~equivocable responses =
   match t.fault with
   | None -> responses
   | Some f ->
-    let round = Fault.next_round f in
+    let fround = Fault.next_round f in
     let out = Array.copy responses in
     for v = 0 to Array.length out - 1 do
-      match Fault.deliver f ~round ~node:v ?corrupt out.(v) with
+      Obs.Counter.add_cell c_fault_decisions ~round ~node:v 1;
+      match Fault.deliver f ~round:fround ~node:v ?corrupt out.(v) with
       | Fault.Delivered x -> out.(v) <- x
       | Fault.Dropped -> (
+        Obs.Counter.add_cell c_fault_drops ~round ~node:v 1;
         match on_drop with
         | Some d -> out.(v) <- d
         | None -> t.missed.(v) <- true)
     done;
     (if equivocable then
-       match (corrupt, Fault.equivocation f ~round ~n:(Array.length out)) with
+       match (corrupt, Fault.equivocation f ~round:fround ~n:(Array.length out)) with
        | Some c, Some (victim, rng) -> out.(victim) <- c rng out.(victim)
        | _ -> ());
     out
 
 let unicast t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
-  charge_live_from_prover t bits;
-  apply_faults t ?corrupt ?on_drop ~equivocable:false responses
+  let round = next_round t in
+  Obs.span ~round "net.unicast" (fun () ->
+      charge_live_from_prover t ~round bits;
+      if Obs.enabled () then Obs.Histo.observe h_msg_bits bits;
+      apply_faults t ?corrupt ?on_drop ~round ~equivocable:false responses)
 
 let unicast_varbits t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
-  Array.iteri (fun v _ -> if not (crashed t v) then Cost.charge_from_prover t.cost v (bits v)) responses;
-  apply_faults t ?corrupt ?on_drop ~equivocable:false responses
+  let round = next_round t in
+  Obs.span ~round "net.unicast" (fun () ->
+      Array.iteri
+        (fun v _ ->
+          if not (crashed t v) then begin
+            Cost.charge_from_prover t.cost v (bits v);
+            Obs.Counter.add_cell c_from_prover ~round ~node:v (bits v)
+          end)
+        responses;
+      apply_faults t ?corrupt ?on_drop ~round ~equivocable:false responses)
 
 let broadcast t ?corrupt ?on_drop ~bits responses =
   check_length t responses;
-  charge_live_from_prover t bits;
-  apply_faults t ?corrupt ?on_drop ~equivocable:true responses
+  let round = next_round t in
+  Obs.span ~round "net.broadcast" (fun () ->
+      charge_live_from_prover t ~round bits;
+      if Obs.enabled () then Obs.Histo.observe h_msg_bits bits;
+      apply_faults t ?corrupt ?on_drop ~round ~equivocable:true responses)
 
 let broadcast_uniform t ?corrupt ?on_drop ~bits value =
   broadcast t ?corrupt ?on_drop ~bits (Array.make (n t) value)

@@ -1,0 +1,296 @@
+external now_ns : unit -> int = "ids_obs_clock_ns" [@@noalloc]
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "IDS_TRACE" with
+    | Some s -> String.trim s <> "" && String.trim s <> "0"
+    | None -> false)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+type span_record = {
+  sname : string;
+  sround : int;
+  snode : int;
+  sdomain : int;
+  start_ns : int;
+  dur_ns : int;
+}
+
+(* Per-domain shard. Span records go to a growable array capped at
+   [max_spans]; metric cells live in int-keyed hash tables (keys pack the
+   (id, round, node) triple so the hot path allocates nothing). Only the
+   owning domain writes a shard; merges happen after the owning domain is
+   joined (or from the owner itself), so no lock is needed on the path. *)
+type shard = {
+  mutable sp : span_record array;
+  mutable nsp : int;
+  mutable dropped : int;
+  mutable ops : int;  (* instrumentation calls recorded; feeds the overhead bench *)
+  cells : (int, int ref) Hashtbl.t;
+  hcells : (int, int ref) Hashtbl.t;
+}
+
+let max_spans = 1 lsl 18
+
+let shards : shard list ref = ref []
+let shards_mu = Mutex.create ()
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        { sp = [||]; nsp = 0; dropped = 0; ops = 0; cells = Hashtbl.create 64; hcells = Hashtbl.create 16 }
+      in
+      Mutex.lock shards_mu;
+      shards := s :: !shards;
+      Mutex.unlock shards_mu;
+      s)
+
+let shard () = Domain.DLS.get shard_key
+
+let record_span r =
+  let sh = shard () in
+  sh.ops <- sh.ops + 1;
+  let n = sh.nsp in
+  let cap = Array.length sh.sp in
+  if n >= max_spans then sh.dropped <- sh.dropped + 1
+  else begin
+    if n >= cap then begin
+      let sp = Array.make (Int.min max_spans (Int.max 256 (2 * cap))) r in
+      Array.blit sh.sp 0 sp 0 n;
+      sh.sp <- sp
+    end;
+    sh.sp.(n) <- r;
+    sh.nsp <- n + 1
+  end
+
+let span ?(round = -1) ?(node = -1) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now_ns () in
+    let finish () =
+      let t1 = now_ns () in
+      record_span
+        { sname = name;
+          sround = round;
+          snode = node;
+          sdomain = (Domain.self () :> int);
+          start_ns = t0;
+          dur_ns = t1 - t0
+        }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* Cell keys pack (metric id, round, node) into one int: 20 bits of id, 21
+   bits each for round and node stored off by one so -1 (unlabeled) maps to
+   0. Protocol rounds and node ids are far below 2^21 - 2. *)
+let pack id round node = (id lsl 42) lor ((round + 1) lsl 21) lor (node + 1)
+let unpack key = (key lsr 42, ((key lsr 21) land 0x1fffff) - 1, (key land 0x1fffff) - 1)
+
+let bump sh tbl key k =
+  sh.ops <- sh.ops + 1;
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.add tbl key (ref k)
+
+(* Metric registries: name per id, appended under a mutex at module
+   initialization time (Counter.make / Histo.make at top level of the
+   instrumented modules). *)
+let names : (int, string) Hashtbl.t = Hashtbl.create 32
+let next_id = ref 0
+let names_mu = Mutex.create ()
+
+let register name =
+  Mutex.lock names_mu;
+  let id = !next_id in
+  incr next_id;
+  Hashtbl.add names id name;
+  Mutex.unlock names_mu;
+  id
+
+module Counter = struct
+  type t = { id : int }
+
+  let make name = { id = register name }
+
+  let add_cell c ~round ~node k =
+    if !enabled_flag then
+      let sh = shard () in
+      bump sh sh.cells (pack c.id round node) k
+
+  let add c k =
+    if !enabled_flag then
+      let sh = shard () in
+      bump sh sh.cells (pack c.id (-1) (-1)) k
+end
+
+module Histo = struct
+  type t = { id : int }
+
+  let make name = { id = register name }
+
+  let bit_length v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+
+  let bucket_of v = if v <= 0 then 0 else bit_length v
+
+  let observe h v =
+    if !enabled_flag then
+      let sh = shard () in
+      bump sh sh.hcells (pack h.id (bucket_of v) (-1)) 1
+end
+
+(* --- merge & export ---------------------------------------------------------- *)
+
+type round_row = { round : int; sum : int; max_node : int }
+type counter_snapshot = { cname : string; total : int; rounds : round_row list }
+type histo_snapshot = { hname : string; buckets : (int * int) list }
+type snapshot = { counters : counter_snapshot list; histos : histo_snapshot list; spans_dropped : int }
+
+let all_shards () =
+  Mutex.lock shards_mu;
+  let l = !shards in
+  Mutex.unlock shards_mu;
+  l
+
+let name_of id = match Hashtbl.find_opt names id with Some n -> n | None -> Printf.sprintf "metric#%d" id
+
+let merge_cells field =
+  let merged : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun key r ->
+          let prev = Option.value (Hashtbl.find_opt merged key) ~default:0 in
+          Hashtbl.replace merged key (prev + !r))
+        (field sh))
+    (all_shards ());
+  merged
+
+let snapshot () =
+  let merged = merge_cells (fun sh -> sh.cells) in
+  (* Group cells by counter name (two registrations of one name merge). *)
+  let by_name : (string, (int * int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun key total ->
+      let id, round, node = unpack key in
+      let name = name_of id in
+      match Hashtbl.find_opt by_name name with
+      | Some l -> l := (round, node, total) :: !l
+      | None -> Hashtbl.add by_name name (ref [ (round, node, total) ]))
+    merged;
+  let counters =
+    Hashtbl.fold
+      (fun cname cells acc ->
+        let total = List.fold_left (fun a (_, _, v) -> a + v) 0 !cells in
+        let rounds_tbl : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun (round, _, v) ->
+            if round >= 0 then begin
+              let sum, mx = Option.value (Hashtbl.find_opt rounds_tbl round) ~default:(0, 0) in
+              Hashtbl.replace rounds_tbl round (sum + v, Int.max mx v)
+            end)
+          !cells;
+        let rounds =
+          Hashtbl.fold (fun round (sum, max_node) l -> { round; sum; max_node } :: l) rounds_tbl []
+          |> List.sort (fun a b -> compare a.round b.round)
+        in
+        { cname; total; rounds } :: acc)
+      by_name []
+    |> List.sort (fun a b -> compare a.cname b.cname)
+  in
+  let hmerged = merge_cells (fun sh -> sh.hcells) in
+  let hby_name : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun key count ->
+      let id, bucket, _ = unpack key in
+      let name = name_of id in
+      match Hashtbl.find_opt hby_name name with
+      | Some l -> l := (bucket, count) :: !l
+      | None -> Hashtbl.add hby_name name (ref [ (bucket, count) ]))
+    hmerged;
+  let histos =
+    Hashtbl.fold
+      (fun hname buckets acc -> { hname; buckets = List.sort compare !buckets } :: acc)
+      hby_name []
+    |> List.sort (fun a b -> compare a.hname b.hname)
+  in
+  let spans_dropped = List.fold_left (fun a sh -> a + sh.dropped) 0 (all_shards ()) in
+  { counters; histos; spans_dropped }
+
+let spans () =
+  let all =
+    List.concat_map (fun sh -> Array.to_list (Array.sub sh.sp 0 sh.nsp)) (all_shards ())
+  in
+  List.sort
+    (fun a b ->
+      let c = compare a.sname b.sname in
+      if c <> 0 then c
+      else
+        let c = compare a.sround b.sround in
+        if c <> 0 then c
+        else
+          let c = compare a.snode b.snode in
+          if c <> 0 then c else compare (a.start_ns, a.dur_ns) (b.start_ns, b.dur_ns))
+    all
+
+let ops_count () = List.fold_left (fun a sh -> a + sh.ops) 0 (all_shards ())
+
+let reset_metrics () =
+  List.iter
+    (fun sh ->
+      Hashtbl.reset sh.cells;
+      Hashtbl.reset sh.hcells)
+    (all_shards ())
+
+let reset () =
+  (* Keep only the calling domain's shard registered: joined domains are
+     gone and fresh ones re-register through the DLS initializer. *)
+  let own = shard () in
+  own.sp <- [||];
+  own.nsp <- 0;
+  own.dropped <- 0;
+  own.ops <- 0;
+  Hashtbl.reset own.cells;
+  Hashtbl.reset own.hcells;
+  Mutex.lock shards_mu;
+  shards := [ own ];
+  Mutex.unlock shards_mu
+
+let snapshot_json s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"counters\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"name\":%S,\"total\":%d,\"rounds\":[" c.cname c.total);
+      List.iteri
+        (fun j r ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "[%d,%d,%d]" r.round r.sum r.max_node))
+        c.rounds;
+      Buffer.add_string buf "]}")
+    s.counters;
+  Buffer.add_string buf "],\"histos\":[";
+  List.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"name\":%S,\"buckets\":[" h.hname);
+      List.iteri
+        (fun j (b, c) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "[%d,%d]" b c))
+        h.buckets;
+      Buffer.add_string buf "]}")
+    s.histos;
+  Buffer.add_string buf (Printf.sprintf "],\"spans_dropped\":%d}" s.spans_dropped);
+  Buffer.contents buf

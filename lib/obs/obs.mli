@@ -1,0 +1,131 @@
+(** Tracing and metrics for the protocol engine.
+
+    Everything in this module is gated by the [IDS_TRACE] environment knob
+    (or {!set_enabled}): when tracing is off, {!span} is a flag test plus a
+    tail call and the counter primitives are a flag test — nothing is
+    recorded, nothing is allocated beyond the optional-argument boxes at the
+    call site. The disabled path is pinned by [bench/obs], which asserts its
+    cost is under 2% of the Protocol 2 hot path.
+
+    When tracing is on, spans and metric increments go to a {e per-domain}
+    shard reached through [Domain.DLS] — the hot path takes no lock (a
+    mutex is touched once per domain lifetime, to register the fresh shard
+    in the global list). Shards are merged by {!snapshot} / {!spans}, which
+    must be called when no worker domain is running — in this codebase,
+    after [Scheduler.map_range] has joined its domains. Tracing never draws
+    randomness and never changes control flow, so traced runs produce
+    bit-identical estimates.
+
+    Span merge order is canonicalized (sorted by name, round, node, then
+    time) before export, so the sequence of span labels is deterministic
+    across worker counts even though timings and domain assignment are
+    not. *)
+
+val enabled : unit -> bool
+(** True when tracing is on. Initialized from [IDS_TRACE] (any value other
+    than empty or ["0"] enables). *)
+
+val set_enabled : bool -> unit
+(** Override the environment gate (used by tests and the bench harness).
+    Call from the main domain with no workers running. *)
+
+val now_ns : unit -> int
+(** Monotonic clock in nanoseconds (CLOCK_MONOTONIC; origin unspecified). *)
+
+val span : ?round:int -> ?node:int -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] and, when tracing is on, records its wall-clock
+    duration under [name] with optional [round] / [node] labels ([-1] =
+    unlabeled). The span is recorded even when [f] raises. *)
+
+(** Monotonically increasing named counters, optionally labeled with a
+    (round, node) cell — e.g. bits delivered to node 3 in round 2. Counter
+    handles are created once at module initialization; adding to one from
+    any domain is lock-free. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register a counter. Names should be unique; registering the same name
+      twice yields two counters whose cells are merged under one name in
+      snapshots. *)
+
+  val add : t -> int -> unit
+  (** Unlabeled increment (no round/node cell). No-op when tracing is off. *)
+
+  val add_cell : t -> round:int -> node:int -> int -> unit
+  (** Increment the (round, node) cell. No-op when tracing is off. *)
+end
+
+(** Log-scale histograms: observation [v] lands in bucket [bits v] (the
+    bit length of [v], 0 for [v <= 0]), so bucket [b] covers
+    [[2^(b-1), 2^b)]. *)
+module Histo : sig
+  type t
+
+  val make : string -> t
+  val observe : t -> int -> unit
+  (** No-op when tracing is off. *)
+
+  val bucket_of : int -> int
+  (** The bucket an observation falls into (exposed for tests/tools). *)
+end
+
+type span_record = {
+  sname : string;
+  sround : int;  (** -1 when unlabeled *)
+  snode : int;  (** -1 when unlabeled *)
+  sdomain : int;  (** id of the domain that recorded the span *)
+  start_ns : int;
+  dur_ns : int;
+}
+
+type round_row = { round : int; sum : int; max_node : int }
+(** One round of a counter: total over all (node) cells and the largest
+    single-node cell. *)
+
+type counter_snapshot = {
+  cname : string;
+  total : int;  (** all cells plus unlabeled increments *)
+  rounds : round_row list;  (** labeled cells grouped by round, ascending *)
+}
+
+type histo_snapshot = { hname : string; buckets : (int * int) list }
+
+type snapshot = {
+  counters : counter_snapshot list;  (** sorted by name *)
+  histos : histo_snapshot list;  (** sorted by name *)
+  spans_dropped : int;  (** spans lost to the per-shard buffer cap *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge all shards' metrics. Call with no worker domains running. *)
+
+val spans : unit -> span_record list
+(** All recorded spans in canonical order (name, round, node, start time).
+    Call with no worker domains running. *)
+
+val ops_count : unit -> int
+(** Total instrumentation calls (spans recorded, counter adds, histogram
+    observations) across all shards since the last {!reset}. The overhead
+    bench multiplies this by the measured disabled-path per-call cost to
+    bound what the instrumentation costs when tracing is off. *)
+
+val reset_metrics : unit -> unit
+(** Clear counters and histograms in every shard, keeping spans (the bench
+    harness snapshots metrics per estimate while the trace accumulates for
+    the whole process). Call with no worker domains running. *)
+
+val reset : unit -> unit
+(** Clear everything and drop shards of joined domains. Call from the main
+    domain with no workers running. *)
+
+val snapshot_json : snapshot -> string
+(** Compact one-line JSON rendering, embedded in schema-version-3 run-log
+    records:
+    {v
+    {"counters":[{"name":"net.from_prover_bits","total":544,
+                  "rounds":[[1,256,16],[2,288,18]]}],
+     "histos":[{"name":"mont.pow_bits","buckets":[[10,5]]}],
+     "spans_dropped":0}
+    v}
+    Round rows are [[round, sum, max_node]]. *)

@@ -1,0 +1,14 @@
+/* Monotonic clock for span timing: CLOCK_MONOTONIC in nanoseconds, as a
+   native OCaml int. 63 bits of nanoseconds since boot overflow after ~146
+   years, so Val_long is safe. No allocation, no callbacks. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ids_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,62 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* The category is the dotted prefix of the span name ("net.challenge" ->
+   "net"), which lets Perfetto's category filter separate network rounds
+   from protocol and scheduler spans. *)
+let category name = match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
+
+let to_channel oc =
+  let spans = Obs.spans () in
+  let t0 = List.fold_left (fun acc s -> Int.min acc s.Obs.start_ns) max_int spans in
+  let us ns = float_of_int ns /. 1000. in
+  output_string oc "{\"traceEvents\":[";
+  List.iteri
+    (fun i (s : Obs.span_record) ->
+      if i > 0 then output_char oc ',';
+      let args =
+        match (s.Obs.sround, s.Obs.snode) with
+        | -1, -1 -> ""
+        | r, -1 -> Printf.sprintf ",\"args\":{\"round\":%d}" r
+        | -1, v -> Printf.sprintf ",\"args\":{\"node\":%d}" v
+        | r, v -> Printf.sprintf ",\"args\":{\"round\":%d,\"node\":%d}" r v
+      in
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d%s}"
+           (escape s.Obs.sname) (escape (category s.Obs.sname))
+           (us (s.Obs.start_ns - t0))
+           (us s.Obs.dur_ns) s.Obs.sdomain args))
+    spans;
+  output_string oc "],\"displayTimeUnit\":\"ms\"}\n"
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> to_channel oc)
+
+let write_from_env ?(quiet = false) () =
+  if not (Obs.enabled ()) then None
+  else if Obs.spans () = [] then None
+  else
+    match Option.value (Sys.getenv_opt "IDS_TRACE_OUT") ~default:"ids_trace.json" with
+    | "" -> None
+    | path -> (
+      match write_file path with
+      | () ->
+        if not quiet then
+          Printf.eprintf "trace: %d spans written to %s (load in Perfetto / about:tracing)\n%!"
+            (List.length (Obs.spans ()))
+            path;
+        Some path
+      | exception Sys_error msg ->
+        Printf.eprintf "warning: trace export failed (%s)\n%!" msg;
+        None)

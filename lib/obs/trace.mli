@@ -1,0 +1,20 @@
+(** Chrome [trace_event] export of the recorded spans.
+
+    The output is the JSON-object flavor of the trace format — a
+    ["traceEvents"] array of complete ("ph":"X") events — which
+    [about:tracing] and Perfetto load directly. Spans are exported in
+    {!Obs.spans}' canonical order; timestamps are microseconds relative to
+    the earliest span, thread ids are the recording domain's id, and the
+    round/node labels ride in ["args"]. *)
+
+val to_channel : out_channel -> unit
+(** Write the current spans as one trace JSON object. *)
+
+val write_file : string -> unit
+(** [write_file path] truncates [path] and writes the trace there. *)
+
+val write_from_env : ?quiet:bool -> unit -> string option
+(** When tracing is enabled and spans were recorded, write the trace to the
+    path named by [IDS_TRACE_OUT] (default ["ids_trace.json"]; empty
+    disables) and return the path; print a one-line notice unless [quiet].
+    [None] when tracing is off, no spans exist, or the sink is disabled. *)

@@ -122,7 +122,7 @@ let structure_ok inst v =
   in
   all_allowed && required
 
-let run ?fault ?params ~seed inst prover =
+let run_body ?fault ?params ~seed inst prover =
   let g = inst.graph in
   let size = Graph.n g in
   let params = match params with Some p -> p | None -> params_for ~seed inst in
@@ -168,3 +168,6 @@ let run ?fault ?params ~seed inst prover =
   in
   let accepted = Network.decide net decide in
   Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
+
+let run ?fault ?params ~seed inst prover =
+  Ids_obs.Obs.span "dsym.run" (fun () -> run_body ?fault ?params ~seed inst prover)

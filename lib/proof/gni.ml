@@ -410,19 +410,21 @@ let run_repetition params inst net prover =
   Array.mapi (fun v ok -> ok && not missed.(v)) valid
 
 let run_single ?fault ?params ~seed inst prover =
-  let params = match params with Some p -> p | None -> params_for ~seed inst in
-  let net = Network.create ?fault ~seed inst.g0 in
-  let valid = run_repetition params inst net prover in
-  let accepted = Network.decide net (fun v -> valid.(v)) in
-  Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
+  Ids_obs.Obs.span "gni.run_single" (fun () ->
+      let params = match params with Some p -> p | None -> params_for ~seed inst in
+      let net = Network.create ?fault ~seed inst.g0 in
+      let valid = run_repetition params inst net prover in
+      let accepted = Network.decide net (fun v -> valid.(v)) in
+      Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net))
 
 let run ?fault ?params ~seed inst prover =
-  let params = match params with Some p -> p | None -> params_for ~seed inst in
-  let net = Network.create ?fault ~seed inst.g0 in
-  let counts = Array.make inst.n 0 in
-  for _rep = 1 to params.repetitions do
-    let valid = run_repetition params inst net prover in
-    Array.iteri (fun v ok -> if ok then counts.(v) <- counts.(v) + 1) valid
-  done;
-  let accepted = Network.decide net (fun v -> counts.(v) >= params.threshold) in
-  Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
+  Ids_obs.Obs.span "gni.run" (fun () ->
+      let params = match params with Some p -> p | None -> params_for ~seed inst in
+      let net = Network.create ?fault ~seed inst.g0 in
+      let counts = Array.make inst.n 0 in
+      for _rep = 1 to params.repetitions do
+        let valid = run_repetition params inst net prover in
+        Array.iteri (fun v ok -> if ok then counts.(v) <- counts.(v) + 1) valid
+      done;
+      let accepted = Network.decide net (fun v -> counts.(v) >= params.threshold) in
+      Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net))

@@ -440,19 +440,21 @@ let run_repetition params inst net prover =
   Array.init n valid_at
 
 let run_single ?params ~seed inst prover =
-  let params = match params with Some p -> p | None -> params_for ~seed inst in
-  let net = Network.create ~seed inst.g0 in
-  let valid = run_repetition params inst net prover in
-  let accepted = Array.for_all Fun.id valid in
-  Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
+  Ids_obs.Obs.span "gni_full.run_single" (fun () ->
+      let params = match params with Some p -> p | None -> params_for ~seed inst in
+      let net = Network.create ~seed inst.g0 in
+      let valid = run_repetition params inst net prover in
+      let accepted = Array.for_all Fun.id valid in
+      Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net))
 
 let run ?params ~seed inst prover =
-  let params = match params with Some p -> p | None -> params_for ~seed inst in
-  let net = Network.create ~seed inst.g0 in
-  let counts = Array.make inst.n 0 in
-  for _rep = 1 to params.repetitions do
-    let valid = run_repetition params inst net prover in
-    Array.iteri (fun v ok -> if ok then counts.(v) <- counts.(v) + 1) valid
-  done;
-  let accepted = Array.for_all (fun cnt -> cnt >= params.threshold) counts in
-  Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
+  Ids_obs.Obs.span "gni_full.run" (fun () ->
+      let params = match params with Some p -> p | None -> params_for ~seed inst in
+      let net = Network.create ~seed inst.g0 in
+      let counts = Array.make inst.n 0 in
+      for _rep = 1 to params.repetitions do
+        let valid = run_repetition params inst net prover in
+        Array.iteri (fun v ok -> if ok then counts.(v) <- counts.(v) + 1) valid
+      done;
+      let accepted = Array.for_all (fun cnt -> cnt >= params.threshold) counts in
+      Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net))

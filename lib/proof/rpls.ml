@@ -25,7 +25,7 @@ let soundness_error_bound g ~p =
   let n = Graph.n g in
   2. *. float_of_int (Graph.edge_count g) *. float_of_int ((n * n) + n) /. float_of_int p
 
-let verify_sym ~seed g (advice : Pls.Lcp_sym.advice) =
+let verify_sym_body ~seed g (advice : Pls.Lcp_sym.advice) =
   let n = Graph.n g in
   let rng = Rng.create seed in
   if n > 120 then invalid_arg "Rpls.verify_sym: n too large for a native-int field of size ~n^4";
@@ -63,3 +63,6 @@ let verify_sym ~seed g (advice : Pls.Lcp_sym.advice) =
     advice_bits_per_node = Pls.Lcp_sym.advice_bits g;
     verification_bits_per_edge = 2 * f.Field.bits (* index + fingerprint *)
   }
+
+let verify_sym ~seed g advice =
+  Ids_obs.Obs.span "rpls.verify_sym" (fun () -> verify_sym_body ~seed g advice)

@@ -77,7 +77,7 @@ let honest =
         respond_with_rho params g challenges table)
   }
 
-let run ?fault ?params ~seed g prover =
+let run_body ?fault ?params ~seed g prover =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Sym_dam.run: need at least 2 nodes";
   let params = match params with Some p -> p | None -> params_for ~seed g in
@@ -127,6 +127,9 @@ let run ?fault ?params ~seed g prover =
   in
   let accepted = Network.decide net decide in
   Outcome.of_cost ~accepted ~prover:prover.name (Network.cost net)
+
+let run ?fault ?params ~seed g prover =
+  Ids_obs.Obs.span "sym_dam.run" (fun () -> run_body ?fault ?params ~seed g prover)
 
 (* --- adversaries ------------------------------------------------------------ *)
 

@@ -3,4 +3,5 @@ let () =
     (Test_bignum.suite @ Test_graph.suite @ Test_network.suite @ Test_hash.suite
     @ Test_engine.suite @ Test_protocols.suite @ Test_faults.suite @ Test_lowerbound.suite
     @ Test_extensions.suite
+    @ Test_obs.suite
     @ Test_features.suite @ Test_properties.suite @ Test_integration.suite)
