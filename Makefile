@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make test` is the tier-1 gate.
 
-.PHONY: all check test test-fast bench bench-modarith bench-obs faults clean
+.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup faults clean
 
 all:
 	dune build
@@ -10,11 +10,14 @@ test:
 	dune build && dune runtest
 
 # Everything in one command: build, full tests, and every self-test —
-# the modular-arithmetic kernel smoke, the run-log inspector's embedded
-# v2/v3 samples, and the tracing layer's zero-cost-when-disabled bound.
+# the modular-arithmetic kernel smoke, the setup-path smoke (gated prime
+# search cross-checked against the reference pipeline), the run-log
+# inspector's embedded v2/v3 samples, and the tracing layer's
+# zero-cost-when-disabled bound.
 check:
 	dune build && dune runtest && \
 	dune exec bench/modarith/main.exe -- --smoke && \
+	dune exec bench/setup/main.exe -- --smoke && \
 	dune exec bin/ids_inspect.exe -- --self-test && \
 	dune exec bench/obs/main.exe -- --smoke
 
@@ -37,6 +40,12 @@ bench-modarith:
 # exceeds 2% of the run itself.
 bench-obs:
 	dune exec bench/obs/main.exe
+
+# Setup-path benchmark: sieve-gated prime search vs the reference pipeline
+# per protocol interval, plus end-to-end dSym trial setup at n=24.
+# Regenerates BENCH_setup.json and asserts the speedup targets.
+bench-setup:
+	dune exec bench/setup/main.exe
 
 # Fast fault-sweep smoke: E13 (degradation curves) with reduced trial
 # budgets and no run log. IDS_FAULT_SPEC adds one custom grid point.

@@ -31,6 +31,11 @@ let time_us reps f =
   done;
   (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
 
+(* Best of three: the mul timing windows are a couple of milliseconds, so a
+   single major-GC slice (the pow timings allocate heavily) can skew one
+   side by several x. The minimum is the standard microbenchmark answer. *)
+let time_us_best reps f = min (time_us reps f) (min (time_us reps f) (time_us reps f))
+
 let random_modulus rng ~bits ~odd =
   let top = Nat.shift_left Nat.one (bits - 1) in
   let m = Nat.add top (Nat.random_below rng top) in
@@ -57,8 +62,8 @@ let bench_modulus ~pow_reps ~mul_reps rng ~bits ~odd =
         ctx_us = time_us pow_reps (fun () -> Modarith.ctx_pow c a e);
         speedup = 0. };
       { bits; parity; op = "mul"; reps = mul_reps;
-        naive_us = time_us mul_reps (fun () -> Modarith.mul a b m);
-        ctx_us = time_us mul_reps (fun () -> Modarith.ctx_mul c a b);
+        naive_us = time_us_best mul_reps (fun () -> Modarith.mul a b m);
+        ctx_us = time_us_best mul_reps (fun () -> Modarith.ctx_mul c a b);
         speedup = 0. }
     ]
   in
@@ -78,8 +83,12 @@ let () =
     | arg :: _ -> Printf.eprintf "unknown argument %s\n" arg; exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* mul reps stay high even in smoke mode: a single product is well under
+     a microsecond at these sizes, so 50 reps is a ~20 us window — pure
+     timer noise against the parity floor below. 2000 reps still costs
+     only milliseconds. *)
   let sizes, pow_reps_of, mul_reps =
-    if !smoke then ([ 96; 192 ], (fun _ -> 2), 50)
+    if !smoke then ([ 96; 192 ], (fun _ -> 2), 2000)
     else ([ 256; 512; 1024; 2048 ], (fun bits -> max 3 (20480 / bits)), 2000)
   in
   let rng = Rng.create 0x6d0d in
@@ -91,6 +100,21 @@ let () =
         @ bench_modulus ~pow_reps ~mul_reps rng ~bits ~odd:false)
       sizes
   in
+  (* ctx_mul now shares the one-shot multiply-and-divide path with naive
+     Modarith (the Barrett route measured 0.57-0.82x here and is kept for
+     pow chains only), so mul rows must sit at parity: >= 1.0 up to timer
+     noise plus the context's reduce pre-checks, which at 256 bits are a
+     few percent of a sub-microsecond multiply. The margin is looser at
+     the smoke sizes (96/192 bits, below any protocol prime), where the
+     pre-checks are a double-digit share of a ~0.35 us product. *)
+  let mul_floor = if !smoke then 0.7 else 0.85 in
+  List.iter
+    (fun r ->
+      if r.op = "mul" && r.speedup < mul_floor then (
+        Printf.eprintf "FAIL: ctx mul at %d bits is %.2fx naive (floor %.2f)\n" r.bits r.speedup
+          mul_floor;
+        exit 1))
+    rows;
   Printf.printf "%6s %6s %5s | %12s %12s | %8s\n" "bits" "parity" "op" "naive (us)" "ctx (us)" "speedup";
   List.iter
     (fun r ->

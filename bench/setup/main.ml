@@ -1,0 +1,195 @@
+(* Benchmark for the setup path: the per-trial cost of drawing protocol
+   parameters, before any round runs.
+
+   Two comparisons, both against reference implementations kept in-tree:
+
+   - prime search over each protocol's interval: the sieve-gated pipeline
+     ([Prime.random_prime_in]) against the pre-sieve reference
+     ([Prime.random_prime_in_reference]). The two are draw-for-draw
+     identical, so every timed pair is also cross-checked to return the
+     same prime — the benchmark doubles as the bit-identity oracle at
+     full production sizes.
+   - end-to-end dSym trial setup at n = 24 (size-53 graph): params + sigma
+     + spanning tree, reference recomputation versus the gated search plus
+     the {!Precomp} memos.
+
+   Full run:   dune exec bench/setup/main.exe         (writes BENCH_setup.json,
+               asserts the speedup targets: >= 3x prime search on the dSym
+               n=24 interval, >= 2x end-to-end dSym setup)
+   Smoke run:  dune exec bench/setup/main.exe -- --smoke
+               (small rep counts, cross-checks only; wired into @runtest-fast) *)
+
+module Nat = Ids_bignum.Nat
+module Rng = Ids_bignum.Rng
+module Prime = Ids_bignum.Prime
+module Graph = Ids_graph.Graph
+module Family = Ids_graph.Family
+module Spanning_tree = Ids_graph.Spanning_tree
+module Obs = Ids_obs.Obs
+module Dsym = Ids_proof.Dsym
+module Precomp = Ids_proof.Precomp
+
+type prime_row = {
+  range : string;
+  bits : int;
+  reps : int;
+  reference_us : float;
+  gated_us : float;
+  speedup : float;
+}
+
+let time_us reps f =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to reps - 1 do
+    ignore (Sys.opaque_identity (f i))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
+
+let seed_base = 7000
+
+(* The protocol intervals: dSym / symDMAM draw from [10 s^3, 100 s^3] (s =
+   graph size; s = 53 is dSym at n = 24), GNI from [4 n!, 8 n!], RPLS from
+   [4 n^4, 8 n^4], symDAM from [10 n^(n+2), 100 n^(n+2)]. *)
+let intervals =
+  let cube s = s * s * s in
+  let int_range name lo hi = (name, Nat.of_int lo, Nat.of_int hi) in
+  let sym_dam_range n =
+    let bound = Nat.pow (Nat.of_int n) (n + 2) in
+    (Printf.sprintf "sym_dam_n%d" n, Nat.mul_int bound 10, Nat.mul_int bound 100)
+  in
+  [ int_range "dsym_s17" (10 * cube 17) (100 * cube 17);
+    int_range "dsym_s53" (10 * cube 53) (100 * cube 53);
+    int_range "sym_dmam_n16" (10 * cube 16) (100 * cube 16);
+    int_range "gni_f40320" (4 * 40320) (8 * 40320);
+    int_range "rpls_n6" (4 * 1296) (8 * 1296);
+    sym_dam_range 10;
+    sym_dam_range 24
+  ]
+
+let bench_interval ~reps (range, lo, hi) =
+  (* Cross-check first: same prime for every seed. *)
+  for i = 0 to reps - 1 do
+    let seed = seed_base + i in
+    let p_ref = Prime.random_prime_in_reference (Rng.create seed) lo hi in
+    let p_gated = Prime.random_prime_in (Rng.create seed) lo hi in
+    if not (Nat.equal p_ref p_gated) then (
+      Printf.eprintf "FAIL: gated prime search disagrees with reference on %s seed %d\n" range seed;
+      exit 1)
+  done;
+  let reference_us =
+    time_us reps (fun i -> Prime.random_prime_in_reference (Rng.create (seed_base + i)) lo hi)
+  in
+  let gated_us = time_us reps (fun i -> Prime.random_prime_in (Rng.create (seed_base + i)) lo hi) in
+  { range; bits = Nat.bit_length hi; reps; reference_us; gated_us;
+    speedup = reference_us /. gated_us }
+
+(* End-to-end dSym setup at n = 24: everything the engine computes per trial
+   before the first message — field prime, embedding permutation, honest
+   prover's spanning tree. *)
+let dsym_n = 24
+let dsym_r = 2
+let dsym_g = Family.dsym_graph (Graph.cycle dsym_n) dsym_r
+let dsym_inst = Dsym.make_instance ~n:dsym_n ~r:dsym_r dsym_g
+
+let dsym_reference_setup seed =
+  let size = Graph.n dsym_g in
+  let rng = Rng.create (seed lxor 0x3d5) in
+  let lo = 10 * size * size * size and hi = 100 * size * size * size in
+  let p = Nat.to_int (Prime.random_prime_in_reference rng (Nat.of_int lo) (Nat.of_int hi)) in
+  let sigma = Family.dsym_sigma ~n:dsym_n ~r:dsym_r in
+  let tree = Spanning_tree.bfs dsym_g 0 in
+  (p, sigma, tree)
+
+let dsym_gated_setup seed =
+  let params = Dsym.params_for ~seed dsym_inst in
+  let sigma = Precomp.dsym_sigma ~n:dsym_n ~r:dsym_r in
+  let tree = Precomp.tree dsym_g 0 in
+  (params.Dsym.p, sigma, tree)
+
+let bench_dsym_setup ~reps =
+  for i = 0 to reps - 1 do
+    let seed = seed_base + i in
+    let p_ref, _, _ = dsym_reference_setup seed in
+    let p_gated, _, _ = dsym_gated_setup seed in
+    if p_ref <> p_gated then (
+      Printf.eprintf "FAIL: dSym setup prime disagrees with reference at seed %d\n" seed;
+      exit 1)
+  done;
+  let reference_us = time_us reps (fun i -> dsym_reference_setup (seed_base + i)) in
+  let gated_us = time_us reps (fun i -> dsym_gated_setup (seed_base + i)) in
+  (reference_us, gated_us, reference_us /. gated_us)
+
+(* One traced pass so the report carries the pipeline's own accounting:
+   sieve rejections vs Miller-Rabin rounds, memo hits vs misses. *)
+let counter_totals () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let _, lo, hi = List.nth intervals 1 (* dsym_s53 *) in
+  ignore (Prime.random_prime_in (Rng.create seed_base) lo hi);
+  (* A fresh copy gets a fresh uid, so the first tree call is a real miss. *)
+  let g = Graph.copy dsym_g in
+  for _ = 1 to 100 do
+    ignore (Precomp.tree g 0);
+    ignore (Precomp.dsym_sigma ~n:dsym_n ~r:dsym_r)
+  done;
+  let snap = Obs.snapshot () in
+  Obs.set_enabled false;
+  let keep c =
+    let n = c.Obs.cname in
+    String.length n >= 5 && (String.sub n 0 5 = "prime" || String.sub n 0 4 = "memo")
+  in
+  List.filter_map
+    (fun c -> if keep c then Some (c.Obs.cname, c.Obs.total) else None)
+    snap.Obs.counters
+
+let () =
+  let smoke = ref false and out = ref "BENCH_setup.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | "-o" :: path :: rest -> out := path; parse rest
+    | arg :: _ -> Printf.eprintf "unknown argument %s\n" arg; exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let reps = if !smoke then 2 else 40 in
+  let rows = List.map (bench_interval ~reps) intervals in
+  let setup_ref, setup_gated, setup_speedup = bench_dsym_setup ~reps in
+  let counters = counter_totals () in
+  Printf.printf "%14s %5s %5s | %14s %12s | %8s\n" "interval" "bits" "reps" "reference (us)"
+    "gated (us)" "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%14s %5d %5d | %14.1f %12.1f | %7.2fx\n" r.range r.bits r.reps
+        r.reference_us r.gated_us r.speedup)
+    rows;
+  Printf.printf "\ndSym n=%d end-to-end setup: reference %.1f us, gated %.1f us, %.2fx\n" dsym_n
+    setup_ref setup_gated setup_speedup;
+  Printf.printf "\ncounters (one gated dsym_s53 search + 100 memoized setups):\n";
+  List.iter (fun (name, total) -> Printf.printf "  %-22s %d\n" name total) counters;
+  (* Timing assertions only in full mode; smoke reps are too small to be
+     stable, there the cross-checks above are the point. *)
+  if not !smoke then begin
+    let headline = List.find (fun r -> r.range = "dsym_s53") rows in
+    if headline.speedup < 3.0 then (
+      Printf.eprintf "FAIL: dsym_s53 prime-search speedup %.2fx below the 3x target\n"
+        headline.speedup;
+      exit 1);
+    if setup_speedup < 2.0 then (
+      Printf.eprintf "FAIL: dSym n=24 setup speedup %.2fx below the 2x target\n" setup_speedup;
+      exit 1)
+  end;
+  let json_row r =
+    Printf.sprintf
+      "    {\"range\": \"%s\", \"bits\": %d, \"reps\": %d, \"reference_us\": %.2f, \"gated_us\": %.2f, \"speedup\": %.2f}"
+      r.range r.bits r.reps r.reference_us r.gated_us r.speedup
+  in
+  let json_counter (name, total) = Printf.sprintf "    {\"name\": \"%s\", \"total\": %d}" name total in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    "{\n  \"schema_version\": 1,\n  \"mode\": \"%s\",\n  \"prime_search\": [\n%s\n  ],\n  \"dsym_setup\": {\"n\": %d, \"size\": %d, \"reps\": %d, \"reference_us\": %.2f, \"gated_us\": %.2f, \"speedup\": %.2f},\n  \"counters\": [\n%s\n  ]\n}\n"
+    (if !smoke then "smoke" else "full")
+    (String.concat ",\n" (List.map json_row rows))
+    dsym_n (Graph.n dsym_g) reps setup_ref setup_gated setup_speedup
+    (String.concat ",\n" (List.map json_counter counters));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" !out

@@ -115,9 +115,17 @@ let reduce c a = if Nat.compare a c.modulus >= 0 then Nat.rem a c.modulus else a
 let ctx_add c a b = add (reduce c a) (reduce c b) c.modulus
 let ctx_sub c a b = sub (reduce c a) (reduce c b) c.modulus
 
-(* A single product is cheaper through Barrett than Montgomery (which needs
-   domain conversions), and the result is identical either way. *)
-let ctx_mul c a b = barrett_reduce c.barrett (Nat.mul (reduce c a) (reduce c b))
+(* A one-shot product goes through the plain multiply-and-divide: Barrett
+   reduction replaces the Knuth division with two extra k-limb products, a
+   loss when the quotient structure isn't amortized over a pow chain
+   (BENCH_modarith measured the Barrett route at 0.57-0.82x naive), and
+   Montgomery would add domain conversions on top. Physically equal
+   arguments route to the squaring kernel inside [Nat.mul]. *)
+let ctx_mul c a b = Nat.rem (Nat.mul (reduce c a) (reduce c b)) c.modulus
+
+(* Inside an exponentiation the reduction cost IS amortized: operands stay
+   reduced, so Barrett's quotient guess never misses by more than 2. *)
+let barrett_mul c a b = barrett_reduce c.barrett (Nat.mul a b)
 
 (* Even-modulus exponentiation: the same 4-bit window over exponent limbs as
    {!Montgomery.pow}, with Barrett-reduced products. *)
@@ -130,7 +138,7 @@ let barrett_pow c a e =
     let table = Array.make (1 lsl window_bits) Nat.one in
     table.(1) <- a;
     for i = 2 to (1 lsl window_bits) - 1 do
-      table.(i) <- ctx_mul c table.(i - 1) a
+      table.(i) <- barrett_mul c table.(i - 1) a
     done;
     let limbs = Nat.to_limbs e in
     let nbits = Nat.bit_length e in
@@ -147,10 +155,10 @@ let barrett_pow c a e =
     let acc = ref table.(window (nw - 1)) in
     for w = nw - 2 downto 0 do
       for _ = 1 to window_bits do
-        acc := ctx_mul c !acc !acc
+        acc := barrett_mul c !acc !acc
       done;
       let d = window w in
-      if d <> 0 then acc := ctx_mul c !acc table.(d)
+      if d <> 0 then acc := barrett_mul c !acc table.(d)
     done;
     !acc
   end

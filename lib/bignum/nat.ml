@@ -97,7 +97,7 @@ let sub a b =
   assert (!borrow = 0);
   normalize r
 
-let mul a b =
+let mul_schoolbook a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
   else begin
@@ -121,7 +121,126 @@ let mul a b =
     normalize r
   end
 
-let mul_int a k = mul a (of_int k)
+(* Squaring by product scanning with the symmetric-term trick (same shape as
+   Montgomery.sqr_limbs): column c sums the pairs a_i * a_(c-i) with i < c-i
+   once, doubles the sum, and adds the diagonal a_(c/2)^2 when c is even —
+   about half the limb products of the schoolbook rectangle. Column bound:
+   at most la/2 pairs of 52-bit products, doubled, plus diagonal and an
+   incoming carry < 2^36, so for la <= 512 the accumulator stays below
+   2^62. *)
+let sqr_scan_max = 512
+
+let sqr_scan a =
+  let la = Array.length a in
+  let r = Array.make (2 * la) 0 in
+  let carry = ref 0 in
+  for c = 0 to (2 * la) - 2 do
+    let lo = max 0 (c - la + 1) in
+    let hi = (c - 1) asr 1 in
+    let sum = ref 0 in
+    for i = lo to hi do
+      sum := !sum + (a.(i) * a.(c - i))
+    done;
+    let cur = !carry + (2 * !sum) + (if c land 1 = 0 then a.(c / 2) * a.(c / 2) else 0) in
+    r.(c) <- cur land mask;
+    carry := cur lsr base_bits
+  done;
+  (* The total is < base^(2 la), so the final carry fits the top limb. *)
+  r.((2 * la) - 1) <- !carry;
+  normalize r
+
+(* [add_at r x off]: r += x * base^off, in place. The carry walk past the
+   end of [x] cannot overrun [r] as long as the running sum stays below
+   base^(length r), which holds at every Karatsuba combine site (partial
+   sums of a product are bounded by the product). *)
+let add_at r x off =
+  let lx = Array.length x in
+  let carry = ref 0 in
+  for i = 0 to lx - 1 do
+    let cur = r.(off + i) + x.(i) + !carry in
+    r.(off + i) <- cur land mask;
+    carry := cur lsr base_bits
+  done;
+  let j = ref (off + lx) in
+  while !carry <> 0 do
+    let cur = r.(!j) + !carry in
+    r.(!j) <- cur land mask;
+    carry := cur lsr base_bits;
+    incr j
+  done
+
+(* z0 + z1 * base^m + z2 * base^2m accumulated into one [len]-limb array —
+   a single allocation instead of shift-and-add chains. *)
+let combine ~len z0 z1 z2 m =
+  let r = Array.make len 0 in
+  Array.blit z0 0 r 0 (Array.length z0);
+  add_at r z1 m;
+  add_at r z2 (2 * m);
+  normalize r
+
+(* Above the scanning cap, split at half the limbs: a = a1 * base^m + a0 and
+   a^2 = a1^2 * base^2m + ((a0 + a1)^2 - a0^2 - a1^2) * base^m + a0^2 —
+   three half-size squarings, no general multiplication needed. *)
+let rec sqr a =
+  let la = Array.length a in
+  if la = 0 then zero
+  else if la <= sqr_scan_max then sqr_scan a
+  else begin
+    let m = la / 2 in
+    let a0 = normalize (Array.sub a 0 m) and a1 = Array.sub a m (la - m) in
+    let z0 = sqr a0 and z2 = sqr a1 in
+    let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
+    combine ~len:(2 * la) z0 z1 z2 m
+  end
+
+(* Karatsuba above [karatsuba_threshold] limbs: three half-size products
+   instead of four. The threshold is where the recursion's extra adds and
+   allocations stop outweighing the saved limb products; with 26-bit limbs
+   and the single-pass combine it sits around 64 limbs (measured — below
+   that the schoolbook inner loop wins on locality). *)
+let karatsuba_threshold = 64
+
+let rec mul a b =
+  if a == b then sqr a
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then zero
+    else if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
+    else begin
+      let m = max la lb / 2 in
+      let low x lx = if lx <= m then x else normalize (Array.sub x 0 m) in
+      let high x lx = if lx <= m then zero else Array.sub x m (lx - m) in
+      let a0 = low a la and a1 = high a la in
+      let b0 = low b lb and b1 = high b lb in
+      let z0 = mul a0 b0 in
+      let z2 = mul a1 b1 in
+      let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+      combine ~len:(la + lb) z0 z1 z2 m
+    end
+  end
+
+(* Scalars up to 2^34 multiply in one sweep: limb * k < 2^60 plus a carry
+   < 2^34 stays inside a native int. Larger scalars (none in this codebase)
+   fall back to a full multiplication. *)
+let mul_int_max = 1 lsl 34
+
+let mul_int a k =
+  if k < 0 then invalid_arg "Nat.mul_int: negative"
+  else if k = 0 || is_zero a then zero
+  else if k < mul_int_max then begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * k) + !carry in
+      r.(i) <- cur land mask;
+      carry := cur lsr base_bits
+    done;
+    r.(la) <- !carry land mask;
+    r.(la + 1) <- !carry lsr base_bits;
+    normalize r
+  end
+  else mul a (of_int k)
 
 let bit_length a =
   let n = Array.length a in
@@ -182,6 +301,20 @@ let divmod_limb a d =
     r := cur mod d
   done;
   (normalize q, !r)
+
+(* Remainder by a native divisor in one high-to-low sweep, without building
+   the quotient. Valid for d < 2^36: the running remainder is < d, so
+   [r * base + limb < 2^62]. The prime-search prefilter leans on the wider
+   bound to reduce by whole products of small primes at a time. *)
+let rem_int_max = 1 lsl 36
+
+let rem_int a d =
+  if d <= 0 || d >= rem_int_max then invalid_arg "Nat.rem_int: divisor out of range";
+  let r = ref 0 in
+  for i = Array.length a - 1 downto 0 do
+    r := ((!r lsl base_bits) lor a.(i)) mod d
+  done;
+  !r
 
 (* Knuth TAOCP vol. 2, Algorithm 4.3.1 D. Both operands are first shifted so
    the divisor's top limb has its high bit set, which bounds the quotient

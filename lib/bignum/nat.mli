@@ -41,13 +41,32 @@ val sub : t -> t -> t
 (** [sub a b] is [a - b]. @raise Invalid_argument if [a < b]. *)
 
 val mul : t -> t -> t
+(** Schoolbook below 32 limbs, Karatsuba above; physically identical
+    arguments route to {!sqr}. *)
+
+val mul_schoolbook : t -> t -> t
+(** The plain O(la * lb) product. Reference oracle for the Karatsuba and
+    squaring kernels (tests and benches); same results as {!mul}. *)
+
+val sqr : t -> t
+(** [sqr a = mul a a], via product scanning with the symmetric-term trick
+    (half the limb products of the schoolbook rectangle), splitting
+    Karatsuba-style above 512 limbs. *)
+
 val mul_int : t -> int -> t
+(** Direct scalar-by-limb sweep for [k < 2^34] (full multiply above).
+    @raise Invalid_argument if [k < 0]. *)
 
 val divmod : t -> t -> t * t
 (** [divmod a b] is [(a / b, a mod b)]. @raise Division_by_zero if [b = 0]. *)
 
 val div : t -> t -> t
 val rem : t -> t -> t
+
+val rem_int : t -> int -> int
+(** [rem_int a d] is [a mod d] in one limb sweep, no quotient allocation.
+    @raise Invalid_argument unless [0 < d < 2^36] (the bound keeps the
+    running remainder's window inside a native int). *)
 
 val pow : t -> int -> t
 (** [pow a k] is [a] raised to the non-negative native exponent [k]. *)

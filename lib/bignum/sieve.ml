@@ -1,0 +1,78 @@
+(* Bit-packed sieve of Eratosthenes over the odd numbers. One bit per odd
+   integer (bit i represents 2i + 1), 62 bits per word, so the whole table
+   for [limit] = 2^16 is ~530 words — built once at module initialization
+   (a few microseconds) and shared read-only by every domain thereafter. *)
+
+let limit = 1 lsl 16
+
+let word_bits = 62
+
+let table =
+  let n_bits = (limit + 1) / 2 in
+  let words = Array.make ((n_bits + word_bits - 1) / word_bits) 0 in
+  let set i = words.(i / word_bits) <- words.(i / word_bits) lor (1 lsl (i mod word_bits)) in
+  (* Mark composites: bit 0 is the number 1. *)
+  set 0;
+  let p = ref 3 in
+  while !p * !p <= limit do
+    if words.(!p / 2 / word_bits) land (1 lsl (!p / 2 mod word_bits)) = 0 then begin
+      let c = ref (!p * !p) in
+      while !c <= limit do
+        set (!c / 2);
+        c := !c + (2 * !p)
+      done
+    end;
+    p := !p + 2
+  done;
+  words
+
+let is_prime n =
+  if n < 2 || n > limit then invalid_arg "Sieve.is_prime: out of range"
+  else if n = 2 then true
+  else if n land 1 = 0 then false
+  else table.(n / 2 / word_bits) land (1 lsl (n / 2 mod word_bits)) = 0
+
+(* The trial-division prefilter in [Prime] only uses primes up to
+   [trial_bound]: beyond that, the cost of dividing outgrows the ~1/q
+   fraction of candidates each extra prime q rejects. 4096 also puts the
+   whole dSym range at n >= 24 below trial_bound^2, where trial division is
+   a complete primality test. *)
+let trial_bound = 4096
+
+let primes_upto b =
+  if b < 2 || b > limit then invalid_arg "Sieve.primes_upto: out of range";
+  let acc = ref [] in
+  let n = ref b in
+  (* Walk downward so the list comes out ascending. *)
+  if !n land 1 = 0 then decr n;
+  while !n >= 3 do
+    if is_prime !n then acc := !n :: !acc;
+    n := !n - 2
+  done;
+  Array.of_list (2 :: !acc)
+
+let trial_primes = primes_upto trial_bound
+
+(* Greedy products of consecutive odd trial primes, each kept below 2^36 so
+   [Nat.rem_int] can reduce a bignum candidate by a whole batch in one
+   limb sweep; an int gcd against the (squarefree) product then reveals
+   which batch primes divide the candidate. *)
+type batch = { product : int; lo : int; hi : int }
+
+let max_product = 1 lsl 36
+
+let batches =
+  let acc = ref [] in
+  let i = ref 1 (* skip 2: candidates are forced odd before filtering *) in
+  let np = Array.length trial_primes in
+  while !i < np do
+    let lo = !i in
+    let product = ref trial_primes.(!i) in
+    incr i;
+    while !i < np && !product * trial_primes.(!i) < max_product do
+      product := !product * trial_primes.(!i);
+      incr i
+    done;
+    acc := { product = !product; lo; hi = !i - 1 } :: !acc
+  done;
+  Array.of_list (List.rev !acc)

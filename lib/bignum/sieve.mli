@@ -1,0 +1,34 @@
+(** Bit-packed small-prime sieve backing the prime-search prefilter.
+
+    The table is built once at module initialization and is immutable
+    afterwards, so it is safely shared across the engine's worker domains.
+    [Prime] uses it two ways: native candidates are trial-divided prime by
+    prime (with early exit), and bignum candidates are reduced by whole
+    {!batches} of primes at a time — one [Nat.rem_int] sweep plus an int
+    gcd per batch instead of a long division per prime. *)
+
+val limit : int
+(** Largest integer the sieve covers (2^16). *)
+
+val is_prime : int -> bool
+(** Table lookup. @raise Invalid_argument unless [2 <= n <= limit]. *)
+
+val trial_bound : int
+(** Upper bound (4096) on the primes the prefilter divides by. Beyond this
+    the ~1/q rejection rate of an extra prime q no longer pays for the
+    division. [trial_bound * trial_bound] also bounds the range where
+    trial division alone decides primality. *)
+
+val primes_upto : int -> int array
+(** All primes [<= b], ascending. @raise Invalid_argument unless
+    [2 <= b <= limit]. *)
+
+val trial_primes : int array
+(** [primes_upto trial_bound], precomputed. *)
+
+type batch = { product : int; lo : int; hi : int }
+(** Product of [trial_primes.(lo .. hi)] (all odd, squarefree), below 2^36
+    so a running [Nat.rem_int] remainder stays inside a native int. *)
+
+val batches : batch array
+(** Greedy consecutive-prime batches covering [trial_primes] from 3 up. *)

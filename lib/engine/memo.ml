@@ -1,0 +1,29 @@
+module Obs = Ids_obs.Obs
+
+type ('k, 'v) t = {
+  limit : int;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+  shard : ('k, 'v) Hashtbl.t Domain.DLS.key;
+}
+
+let create ?(limit = 256) name =
+  if limit < 1 then invalid_arg "Memo.create: limit must be >= 1";
+  { limit;
+    hits = Obs.Counter.make (name ^ ".hit");
+    misses = Obs.Counter.make (name ^ ".miss");
+    shard = Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+  }
+
+let find t key compute =
+  let tbl = Domain.DLS.get t.shard in
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+    Obs.Counter.add t.hits 1;
+    v
+  | None ->
+    Obs.Counter.add t.misses 1;
+    let v = compute key in
+    if Hashtbl.length tbl >= t.limit then Hashtbl.reset tbl;
+    Hashtbl.add tbl key v;
+    v

@@ -1,0 +1,36 @@
+(** Keyed memoization for instance-invariant values.
+
+    A protocol run recomputes a handful of values that depend only on the
+    instance — the dSym permutation [sigma], the honest prover's BFS tree,
+    factorial field bounds — once per {e response}, even though they are
+    fixed for the whole estimate. A memo caches them keyed by what they are
+    a function of.
+
+    Correctness contract: [compute] must be a pure function of [key]
+    (callers enforce this; graph-keyed memos key by
+    [(Graph.uid, Graph.version, ...)] so mutation invalidates). Under that
+    contract a hit returns exactly what a recompute would, so estimates are
+    bit-identical with the cache hot, cold, or sharded differently.
+
+    The table is sharded per domain via [Domain.DLS] — the same pattern as
+    the [Modarith.ctx] cache — so worker domains never contend and never
+    share entries. Each shard holds at most [limit] entries and is cleared
+    wholesale on overflow (sweeps over many instances cannot grow it without
+    bound).
+
+    Hit/miss [IDS_TRACE] counters named [name ^ ".hit"] / [name ^ ".miss"]
+    are registered at {!create} time; create memos at module initialization,
+    matching the {!Ids_obs.Obs.Counter} contract. *)
+
+type ('k, 'v) t
+
+val create : ?limit:int -> string -> ('k, 'v) t
+(** [create name] registers the [name ^ ".hit"] / [name ^ ".miss"] counters
+    and returns an empty memo. [limit] (default 256) bounds each per-domain
+    shard. Call once at module initialization.
+    @raise Invalid_argument if [limit < 1]. *)
+
+val find : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
+(** [find t key compute] returns the cached value for [key] in this domain's
+    shard, running [compute key] and caching on a miss. [compute] must be a
+    pure function of [key]. *)

@@ -1,10 +1,23 @@
-type t = { n : int; adj : Bitset.t array }
+type t = { n : int; adj : Bitset.t array; uid : int; mutable version : int }
+
+(* Process-unique ids let derived-value caches key a graph by (uid, version)
+   in O(1) instead of hashing the adjacency matrix. Mutation bumps the
+   version, so a cache entry can never serve a stale derived value. *)
+let uid_counter = Atomic.make 0
 
 let make n =
   if n < 0 then invalid_arg "Graph.make: negative size";
-  { n; adj = Array.init n (fun _ -> Bitset.create n) }
+  { n;
+    adj = Array.init n (fun _ -> Bitset.create n);
+    uid = Atomic.fetch_and_add uid_counter 1;
+    version = 0
+  }
 
 let n g = g.n
+
+let uid g = g.uid
+
+let version g = g.version
 
 let check_vertex g v = if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
 
@@ -12,12 +25,14 @@ let add_edge g u v =
   check_vertex g u;
   check_vertex g v;
   if u = v then invalid_arg "Graph.add_edge: self-loop";
+  g.version <- g.version + 1;
   Bitset.add g.adj.(u) v;
   Bitset.add g.adj.(v) u
 
 let remove_edge g u v =
   check_vertex g u;
   check_vertex g v;
+  g.version <- g.version + 1;
   Bitset.remove g.adj.(u) v;
   Bitset.remove g.adj.(v) u
 
@@ -55,7 +70,12 @@ let of_edges n es =
   List.iter (fun (u, v) -> add_edge g u v) es;
   g
 
-let copy g = { n = g.n; adj = Array.map Bitset.copy g.adj }
+let copy g =
+  { n = g.n;
+    adj = Array.map Bitset.copy g.adj;
+    uid = Atomic.fetch_and_add uid_counter 1;
+    version = 0
+  }
 
 let equal a b = a.n = b.n && Array.for_all2 Bitset.equal a.adj b.adj
 

@@ -14,6 +14,19 @@ val make : int -> t
 val n : t -> int
 (** Number of vertices. *)
 
+val uid : t -> int
+(** Process-unique id, assigned at construction ({!copy} and every generator
+    included). Together with {!version} it keys caches of values derived
+    from a graph — O(1) instead of hashing the adjacency matrix. The id
+    reflects allocation order, so it must never influence protocol results;
+    caches may only store values that are pure functions of the graph. *)
+
+val version : t -> int
+(** Mutation counter: bumped by {!add_edge} / {!remove_edge}. A cached value
+    keyed ([uid], [version]) can never be served stale. Bumps are not
+    atomic — graphs are built before worker domains fan out and are never
+    mutated concurrently. *)
+
 val add_edge : t -> int -> int -> unit
 (** [add_edge g u v] inserts the undirected edge [{u, v}].
     @raise Invalid_argument on a self-loop or out-of-range endpoint. *)

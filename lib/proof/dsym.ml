@@ -45,8 +45,8 @@ let respond_consistently params inst challenges =
   let g = inst.graph in
   let size = Graph.n g in
   let f = params.field in
-  let sigma = Family.dsym_sigma ~n:inst.n ~r:inst.r in
-  let tree = Spanning_tree.bfs g honest_root in
+  let sigma = Precomp.dsym_sigma ~n:inst.n ~r:inst.r in
+  let tree = Precomp.tree g honest_root in
   let i = challenges.(honest_root) in
   (* One power table for the shared index replaces a modular exponentiation
      per row term in both sums. *)
@@ -79,8 +79,8 @@ let adversary_wrong_permutation =
         let g = inst.graph in
         let size = Graph.n g in
         let f = params.field in
-        let sigma = Perm.compose (Family.dsym_sigma ~n:inst.n ~r:inst.r) (Perm.transposition size 0 1) in
-        let tree = Spanning_tree.bfs g honest_root in
+        let sigma = Perm.compose (Precomp.dsym_sigma ~n:inst.n ~r:inst.r) (Perm.transposition size 0 1) in
+        let tree = Precomp.tree g honest_root in
         let i = challenges.(honest_root) in
         let pows = Linear.powers f i ((size * size) + size) in
         let term_a v = Linear.row_hash_pow f ~powers:pows ~n:size ~row:v (Graph.closed_neighborhood g v) in
@@ -127,7 +127,7 @@ let run_body ?fault ?params ~seed inst prover =
   let size = Graph.n g in
   let params = match params with Some p -> p | None -> params_for ~seed inst in
   let f = params.field in
-  let sigma = Family.dsym_sigma ~n:inst.n ~r:inst.r in
+  let sigma = Precomp.dsym_sigma ~n:inst.n ~r:inst.r in
   let net = Network.create ?fault ~seed g in
   let challenges = Network.challenge net ~bits:f.Field.bits (fun rng -> f.Field.random rng) in
   let r = prover.respond params inst challenges in

@@ -65,9 +65,7 @@ type params = {
   no_bound : float;
 }
 
-let factorial n =
-  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
-  go 1 n
+let factorial n = Precomp.factorial n
 
 (* Single-repetition acceptance bounds from the GS analysis with an
    eps-API hash (see Api's documentation). *)
@@ -189,7 +187,7 @@ let identity_table n = Array.init n Fun.id
 
 let honest_commit params inst (ch : challenge) =
   let n = inst.n in
-  let tree = Spanning_tree.bfs inst.g0 honest_root in
+  let tree = Precomp.tree inst.g0 honest_root in
   let spec = ch.specs.(honest_root) and target = ch.targets.(honest_root) in
   let miss, sigma, b =
     match find_preimage params inst spec target with
@@ -291,7 +289,7 @@ let adversary_biased_hash =
     commit =
       (fun _params inst ch ->
         let n = inst.n in
-        let tree = Spanning_tree.bfs inst.g0 honest_root in
+        let tree = Precomp.tree inst.g0 honest_root in
         { miss = const n false;
           b = const n 0;
           sigma = const n (identity_table n);

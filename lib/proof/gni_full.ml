@@ -125,9 +125,7 @@ type params = {
   no_bound : float;
 }
 
-let factorial n =
-  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
-  go 1 n
+let factorial n = Precomp.factorial n
 
 let params_for ?repetitions ~seed inst =
   let k = Api.default_copies in
@@ -246,7 +244,7 @@ let identity_table n = Array.init n Fun.id
 
 let commit_with params inst (ch : challenge) search =
   let n = inst.n in
-  let tree = Spanning_tree.bfs inst.g0 honest_root in
+  let tree = Precomp.tree inst.g0 honest_root in
   let spec = ch.specs.(honest_root) and target = ch.targets.(honest_root) in
   let miss, sigma, b, alpha =
     match search params inst spec target with

@@ -318,7 +318,7 @@ let identity_table n = Array.init n Fun.id
 
 let honest_commit params inst (ch : challenge) =
   let n = inst.n in
-  let tree = Spanning_tree.bfs inst.g honest_root in
+  let tree = Precomp.tree inst.g honest_root in
   let spec = ch.specs.(honest_root) and target = ch.targets.(honest_root) in
   let miss, psi, b, alpha =
     match find_preimage params inst spec target with

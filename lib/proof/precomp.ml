@@ -1,0 +1,39 @@
+module Memo = Ids_engine.Memo
+module Graph = Ids_graph.Graph
+module Perm = Ids_graph.Perm
+module Family = Ids_graph.Family
+module Spanning_tree = Ids_graph.Spanning_tree
+module Iso = Ids_graph.Iso
+module Nat = Ids_bignum.Nat
+
+(* All memos are created here, at module initialization, so their hit/miss
+   counters exist before tracing snapshots (Obs.Counter contract). Every
+   compute function below is a pure function of its key: graph-keyed entries
+   key by (uid, version), which mutation invalidates, so estimates are
+   bit-identical whether the cache is cold, warm, or sharded across any
+   number of worker domains. *)
+
+let bfs_memo : (int * int * int, Spanning_tree.t) Memo.t = Memo.create "memo.bfs"
+let sigma_memo : (int * int, Perm.t) Memo.t = Memo.create "memo.dsym_sigma"
+let aut_memo : (int * int, Perm.t option) Memo.t = Memo.create "memo.automorphism"
+let factorial_memo : (int, int) Memo.t = Memo.create "memo.factorial"
+let power_bound_memo : (int * int, Nat.t) Memo.t = Memo.create "memo.power_bound"
+
+let tree g root =
+  Memo.find bfs_memo (Graph.uid g, Graph.version g, root) (fun _ -> Spanning_tree.bfs g root)
+
+let dsym_sigma ~n ~r = Memo.find sigma_memo (n, r) (fun _ -> Family.dsym_sigma ~n ~r)
+
+let nontrivial_automorphism g =
+  Memo.find aut_memo (Graph.uid g, Graph.version g) (fun _ ->
+      Iso.find_nontrivial_automorphism g)
+
+let factorial n =
+  if n < 0 then invalid_arg "Precomp.factorial: negative";
+  Memo.find factorial_memo n (fun _ ->
+      let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+      go 1 n)
+
+let power_bound n e =
+  if n < 0 || e < 0 then invalid_arg "Precomp.power_bound: negative";
+  Memo.find power_bound_memo (n, e) (fun _ -> Nat.pow (Nat.of_int n) e)

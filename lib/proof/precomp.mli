@@ -1,0 +1,31 @@
+(** Memoized instance-invariant values shared by the provers.
+
+    The protocol implementations recompute several values per {e response}
+    that are fixed for the whole instance: the dSym embedding permutation,
+    the honest prover's BFS spanning tree, a nontrivial automorphism, the
+    factorial and [n^(n+2)] field bounds. This module routes them through
+    {!Ids_engine.Memo} (per-domain shards, [IDS_TRACE] hit/miss counters
+    [memo.bfs], [memo.dsym_sigma], [memo.automorphism], [memo.factorial],
+    [memo.power_bound]).
+
+    Every entry is a pure function of its key — graph-keyed entries use
+    ([Graph.uid], [Graph.version]) so mutation invalidates — hence runs are
+    bit-identical to the uncached computation for any domain count. *)
+
+val tree : Ids_graph.Graph.t -> int -> Ids_graph.Spanning_tree.t
+(** Memoized {!Spanning_tree.bfs}. Same exceptions on a bad root or a
+    disconnected graph (raised on every call; failures are not cached). *)
+
+val dsym_sigma : n:int -> r:int -> Ids_graph.Perm.t
+(** Memoized {!Family.dsym_sigma}. *)
+
+val nontrivial_automorphism : Ids_graph.Graph.t -> Ids_graph.Perm.t option
+(** Memoized {!Iso.find_nontrivial_automorphism}. *)
+
+val factorial : int -> int
+(** Memoized native-int factorial (callers keep arguments small enough not
+    to overflow, as before). @raise Invalid_argument on negatives. *)
+
+val power_bound : int -> int -> Ids_bignum.Nat.t
+(** [power_bound n e] is a memoized [Nat.pow (Nat.of_int n) e] — Protocol
+    2's field bound [n^(n+2)]. @raise Invalid_argument on negatives. *)

@@ -16,7 +16,7 @@ type params = { p : Nat.t; field : Nat.t Field.t }
 let params_for ~seed g =
   let n = max 2 (Graph.n g) in
   let rng = Rng.create (seed lxor 0x2a17) in
-  let bound = Nat.pow (Nat.of_int n) (n + 2) in
+  let bound = Precomp.power_bound n (n + 2) in
   let p =
     Ids_bignum.Prime.random_prime_in rng (Nat.mul_int bound 10) (Nat.mul_int bound 100)
   in
@@ -43,7 +43,7 @@ let respond_with_rho params g challenges rho_table =
   let f = params.field in
   let rec moved v = if v >= n then 0 else if rho_table.(v) <> v then v else moved (v + 1) in
   let root = moved 0 in
-  let tree = Spanning_tree.bfs g root in
+  let tree = Precomp.tree g root in
   let i = challenges.(root) in
   (* Both sums evaluate every row at the same index: one power table
      replaces a modular exponentiation per row term. *)
@@ -70,7 +70,7 @@ let honest =
     respond =
       (fun params g challenges ->
         let table =
-          match Iso.find_nontrivial_automorphism g with
+          match Precomp.nontrivial_automorphism g with
           | Some rho -> Array.init (Graph.n g) (Perm.apply rho)
           | None -> fallback_table (Graph.n g)
         in

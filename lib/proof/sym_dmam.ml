@@ -35,7 +35,7 @@ let const n v = Array.make n v
 let tree_for_rho g rho =
   let n = Graph.n g in
   let rec moved v = if v >= n then 0 else if Perm.apply rho v <> v then v else moved (v + 1) in
-  Spanning_tree.bfs g (moved 0)
+  Precomp.tree g (moved 0)
 
 let commit_with_rho g rho =
   let n = Graph.n g in
@@ -79,7 +79,7 @@ let honest =
   { name = "honest";
     commit =
       (fun _params g ->
-        let rho = Option.value (Iso.find_nontrivial_automorphism g) ~default:(fallback_rho g) in
+        let rho = Option.value (Precomp.nontrivial_automorphism g) ~default:(fallback_rho g) in
         commit_with_rho g rho);
     respond = respond_consistently
   }
