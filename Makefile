@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make test` is the tier-1 gate.
 
-.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup faults clean
+.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup faults frontier clean
 
 all:
 	dune build
@@ -11,13 +11,15 @@ test:
 
 # Everything in one command: build, full tests, and every self-test —
 # the modular-arithmetic kernel smoke, the setup-path smoke (gated prime
-# search cross-checked against the reference pipeline), the run-log
+# search cross-checked against the reference pipeline), the soundness
+# frontier smoke (search-dominates-registry assertion), the run-log
 # inspector's embedded v2/v3 samples, and the tracing layer's
 # zero-cost-when-disabled bound.
 check:
 	dune build && dune runtest && \
 	dune exec bench/modarith/main.exe -- --smoke && \
 	dune exec bench/setup/main.exe -- --smoke && \
+	dune exec bench/frontier/main.exe -- --smoke -o /dev/null && \
 	dune exec bin/ids_inspect.exe -- --self-test && \
 	dune exec bench/obs/main.exe -- --smoke
 
@@ -51,6 +53,13 @@ bench-setup:
 # budgets and no run log. IDS_FAULT_SPEC adds one custom grid point.
 faults:
 	IDS_TRIALS_SCALE=0.2 IDS_RUNLOG= dune exec bench/main.exe -- faults
+
+# E17: the empirical soundness frontier — grid search over the cheat
+# strategy space per protocol, compared against the registry adversaries
+# and the analytic bounds. Regenerates BENCH_frontier.json (fixed trial
+# budgets, bit-identical across IDS_DOMAINS).
+frontier:
+	dune exec bench/frontier/main.exe
 
 clean:
 	dune clean

@@ -64,11 +64,10 @@ let sym_cmd =
       | "honest" -> Sym_dmam.honest
       | other -> (
         match Adversary.lookup Adversary.sym_dmam other with
-        | Some p -> p
-        | None ->
-          failwith
-            (Printf.sprintf "unknown prover %S (honest, %s)" other
-               (String.concat ", " (Adversary.names Adversary.sym_dmam))))
+        | Ok p -> p
+        | Error msg ->
+          Printf.eprintf "ids-demo: %s\n" msg;
+          exit 2)
     in
     if trials > 0 then
       report_estimate "acceptance" (Stats.acceptance_ci ~trials (fun s -> Sym_dmam.run ~seed:s g prover))

@@ -9,6 +9,7 @@
      ids-inspect --self-test             # parser + renderer smoke (no file) *)
 
 module Runlog = Ids_engine.Runlog
+module Strategy = Ids_proof.Strategy
 module Json = Ids_obs.Json
 open Cmdliner
 
@@ -188,6 +189,48 @@ let fault_breakdown groups =
     (List.rev !order);
   !any
 
+(* Frontier view: records whose prover is an encoded cheat strategy (the
+   E17 search harness logs the best-found point per protocol under its
+   `strategy v1 ...` encoding). The encoding is decoded back through
+   Strategy.decode, so a corrupted or hand-edited label is flagged instead
+   of silently tabulated; the axis settings are shown without the
+   magic/version/seed prefix to keep rows readable. *)
+let strategy_prefix = "strategy v1 "
+
+let is_strategy_prover prover =
+  String.length prover >= String.length strategy_prefix
+  && String.sub prover 0 (String.length strategy_prefix) = strategy_prefix
+
+let strategy_axes prover =
+  match Strategy.decode prover with
+  | Error e -> Printf.sprintf "INVALID ENCODING (%s)" e
+  | Ok s ->
+    let names = Strategy.axis_names s.Strategy.protocol in
+    let levels = Strategy.levels s.Strategy.protocol in
+    String.concat " "
+      (Array.to_list
+         (Array.mapi
+            (fun i name -> Printf.sprintf "%s=%s" name levels.(i).(s.Strategy.point.(i)))
+            names))
+
+let frontier_table groups =
+  let rows = List.filter (fun g -> is_strategy_prover g.gprover) groups in
+  if rows = [] then false
+  else begin
+    print_endline "\n== empirical soundness frontier (best-found cheat strategies, E17) ==";
+    Printf.printf "%-10s %4s  %-58s %-14s %7s %15s  %7s\n" "protocol" "n" "strategy (decoded axes)" "fault"
+      "rate" "95% CI" "accepts";
+    List.iter
+      (fun g ->
+        let r = g.last in
+        Printf.printf "%-10s %4d  %-58s %-14s %7.4f [%.4f,%.4f]  %4d/%d\n" g.gprotocol g.gn
+          (strategy_axes g.gprover)
+          (if g.gfault = "" then "-" else g.gfault)
+          r.Runlog.rate r.Runlog.ci_low r.Runlog.ci_high r.Runlog.accepts r.Runlog.trials)
+      rows;
+    true
+  end
+
 let report ?protocol records =
   let records =
     match protocol with
@@ -199,11 +242,13 @@ let report ?protocol records =
     let groups = group_records records in
     Printf.printf "%d records, %d groups\n" (List.length records) (List.length groups);
     summary_table groups;
+    let frontier = frontier_table groups in
     let traced = rounds_detail groups in
     let faulted = fault_breakdown groups in
     if not traced then
       print_endline "\n(no traced records — run the bench with IDS_TRACE=1 for per-round profiles)";
-    ignore faulted
+    ignore faulted;
+    ignore frontier
   end
 
 (* --- self-test --------------------------------------------------------------------- *)
@@ -219,6 +264,12 @@ let sample_v2_none =
 
 let sample_v3 =
   {|{"schema_version":3,"protocol":"sym_dam","n":8,"prover":"honest","trials":10,"accepts":10,"rate":1,"ci_low":0.722,"ci_high":1,"mean_bits":150.4,"max_bits":161,"domains":2,"stopped_early":false,"metrics":{"counters":[{"name":"net.from_prover_bits","total":1840,"rounds":[[2,1200,160],[3,640,86]]},{"name":"net.to_prover_bits","total":640,"rounds":[[1,640,86]]}],"histos":[{"name":"mont.pow_bits","buckets":[[5,40]]}],"spans_dropped":0}}|}
+
+let sample_frontier =
+  {|{"schema_version":3,"protocol":"sym_dmam","n":8,"prover":"strategy v1 sym_dmam seed=0 perm=fallback split=none sums=consistent echo=root fault=none","trials":16384,"accepts":12,"rate":0.00073242,"ci_low":0.00041852,"ci_high":0.00128128,"mean_bits":76,"max_bits":76,"domains":1,"stopped_early":false}|}
+
+let sample_frontier_fault =
+  {|{"schema_version":3,"protocol":"sym_dmam","n":8,"prover":"strategy v1 sym_dmam seed=0 perm=fallback split=none sums=consistent echo=root fault=none","fault":"crash-vacuous","trials":16384,"accepts":1603,"rate":0.09783936,"ci_low":0.09336987,"ci_high":0.10249527,"mean_bits":76,"max_bits":76,"domains":1,"stopped_early":false}|}
 
 let sample_unknown =
   {|{"schema_version":99,"protocol":"x","n":1,"prover":"p","trials":1,"accepts":1,"rate":1,"ci_low":1,"ci_high":1,"mean_bits":1,"max_bits":1,"domains":1,"stopped_early":false}|}
@@ -250,8 +301,28 @@ let self_test () =
   | Ok _ -> fail "garbage line accepted");
   if bound_for "sym_dmam" 16 <> "92" then fail "paper bound (Protocol 1, n=16) wrong";
   if bound_for "sym_dam" 16 <> "384" then fail "paper bound (Protocol 2, n=16) wrong";
+  (* The frontier sample's prover must round-trip through the strategy
+     codec — the table decodes it for the axes column. *)
+  let fr = ok "frontier sample" sample_frontier in
+  if not (is_strategy_prover fr.Runlog.prover) then fail "frontier prover not recognized";
+  (match Strategy.decode fr.Runlog.prover with
+  | Error e -> fail "frontier prover does not decode: %s" e
+  | Ok s ->
+    if Strategy.encode s <> fr.Runlog.prover then fail "frontier prover round-trip changed";
+    if s.Strategy.protocol <> Strategy.Sym_dmam || s.Strategy.seed <> 0 then
+      fail "frontier prover decoded to the wrong strategy");
+  (match Strategy.decode "strategy v1 sym_dmam seed=0 perm=warp" with
+  | Ok _ -> fail "bogus strategy level accepted"
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    if not (contains e "token") then fail "strategy decode error lacks token position: %s" e);
   (* Exercise every renderer section on the embedded samples. *)
-  report [ v2; v2f; ok "v2 none sample" sample_v2_none; v3 ];
+  report
+    [ v2; v2f; ok "v2 none sample" sample_v2_none; v3; fr; ok "frontier fault sample" sample_frontier_fault ];
   print_endline "\nids-inspect self-test: OK";
   0
 

@@ -52,7 +52,7 @@ let () =
 
   (* Soundness: a cheating prover claiming an asymmetric graph is symmetric. *)
   let no = Family.random_asymmetric (Ids_bignum.Rng.create 7) 10 in
-  let cheat = Option.get (Adversary.lookup Adversary.sym_dmam "random-perm") in
+  let cheat = Result.get_ok (Adversary.lookup Adversary.sym_dmam "random-perm") in
   sweep "random-perm adversary, NO instance (soundness):" (fun ?fault seed ->
       Sym_dmam.run ?fault ~seed no cheat);
 

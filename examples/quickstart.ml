@@ -37,7 +37,7 @@ let () =
      collision; estimate the acceptance rate of a cheating prover. *)
   let a = Family.random_asymmetric (Ids_bignum.Rng.create 7) 10 in
   describe "asymmetric network" a;
-  let cheat = Option.get (Adversary.lookup Adversary.sym_dmam "random-perm") in
+  let cheat = Result.get_ok (Adversary.lookup Adversary.sym_dmam "random-perm") in
   let est = Stats.acceptance_ci ~trials:200 (fun seed -> Sym_dmam.run ~seed a cheat) in
   let module Engine = Ids_engine.Engine in
   Printf.printf

@@ -61,7 +61,7 @@ let () =
       | None -> "undecided")
       e.Engine.trials e.Engine.rate e.Engine.ci_low e.Engine.ci_high
   in
-  let cheat = Option.get (Adversary.lookup Adversary.dsym "consistent") in
+  let cheat = Result.get_ok (Adversary.lookup Adversary.dsym "consistent") in
   describe "YES" (fun seed -> Dsym.run ~seed inst Dsym.honest);
   describe "NO" (fun seed ->
       (* per-seed perturbation rng: trial functions must be pure in the seed *)

@@ -1,0 +1,151 @@
+module Rng = Ids_bignum.Rng
+
+type axis = { name : string; cardinality : int }
+
+type space = axis array
+
+type point = int array
+
+type outcome = { point : point; estimate : Engine.estimate; screened : bool }
+
+type stats = { evaluated : int; screened_out : int; cache_hits : int; trials_spent : int }
+
+type result = { best : outcome; outcomes : outcome list; stats : stats }
+
+let better a b =
+  if a.estimate.Engine.rate <> b.estimate.Engine.rate then
+    a.estimate.Engine.rate > b.estimate.Engine.rate
+  else if a.screened <> b.screened then not a.screened
+  else if a.estimate.Engine.accepts <> b.estimate.Engine.accepts then
+    a.estimate.Engine.accepts > b.estimate.Engine.accepts
+  else compare a.point b.point < 0
+
+(* [better] is a strict total order on distinct points, so this comparator
+   sorts deterministically. *)
+let compare_outcomes a b = if better a b then -1 else if better b a then 1 else 0
+
+let run ?domains ?chunk ?(seed = 1) ?starts ?(frozen = []) ?(passes = 2) ?(mu = 3) ?(lambda = 6)
+    ?(generations = 3) ?(screen_trials = 96) ?(screen_floor = 0.05) ~full_trials ~space f =
+  let k = Array.length space in
+  if k = 0 then invalid_arg "Search.run: empty space";
+  Array.iter
+    (fun a -> if a.cardinality < 1 then invalid_arg "Search.run: axis cardinality must be >= 1")
+    space;
+  if full_trials <= 0 then invalid_arg "Search.run: full_trials must be positive";
+  if passes < 0 || mu < 1 || lambda < 0 || generations < 0 then
+    invalid_arg "Search.run: negative search budget";
+  if not (0. < screen_floor && screen_floor < 1.) then
+    invalid_arg "Search.run: screen_floor must lie in (0, 1)";
+  List.iter
+    (fun (i, v) ->
+      if i < 0 || i >= k || v < 0 || v >= space.(i).cardinality then
+        invalid_arg "Search.run: frozen entry out of range")
+    frozen;
+  let free_axes = List.filter (fun i -> not (List.mem_assoc i frozen)) (List.init k Fun.id) in
+  let normalize p =
+    let q =
+      Array.init k (fun i ->
+          let v = if i < Array.length p then p.(i) else 0 in
+          min (space.(i).cardinality - 1) (max 0 v))
+    in
+    List.iter (fun (i, v) -> q.(i) <- v) frozen;
+    q
+  in
+  let starts = match starts with Some l when l <> [] -> l | _ -> [ Array.make k 0 ] in
+  (* Evaluation cache + running tallies. Keyed by the point's level list, so
+     structural equality does the lookup. *)
+  let cache : (int list, outcome) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref [] in
+  let best = ref None in
+  let evaluated = ref 0 and screened_out = ref 0 and cache_hits = ref 0 and trials_spent = ref 0 in
+  let best_rate () = match !best with None -> 0. | Some o -> o.estimate.Engine.rate in
+  let evaluate p =
+    let p = normalize p in
+    let key = Array.to_list p in
+    match Hashtbl.find_opt cache key with
+    | Some o ->
+      incr cache_hits;
+      o
+    | None ->
+      let trial = f p in
+      (* Race the point against the incumbent: H1 is "as good as the best
+         seen so far". The screen only engages once the incumbent clears
+         [screen_floor] — racing against a tiny rate would need far more
+         than [screen_trials] trials, and worse, would confidently discard
+         points whose true (tiny) rate is the actual frontier. *)
+      let screened_estimate =
+        if screen_trials <= 0 || screen_trials >= full_trials || best_rate () < screen_floor then
+          None
+        else begin
+          let p1 = Float.min 0.995 (best_rate ()) in
+          let plan = Sprt.plan ~p0:(p1 /. 4.) ~p1 () in
+          let est, decision = Engine.run_sprt ?domains ?chunk ~plan ~max_trials:screen_trials trial in
+          trials_spent := !trials_spent + est.Engine.trials;
+          if decision = Some Sprt.Below then Some est else None
+        end
+      in
+      let o =
+        match screened_estimate with
+        | Some est -> { point = p; estimate = est; screened = true }
+        | None ->
+          let est = Engine.run ?domains ?chunk ~trials:full_trials trial in
+          trials_spent := !trials_spent + est.Engine.trials;
+          { point = p; estimate = est; screened = false }
+      in
+      incr evaluated;
+      if o.screened then incr screened_out;
+      Hashtbl.add cache key o;
+      acc := o :: !acc;
+      (match !best with Some b when not (better o b) -> () | _ -> best := Some o);
+      o
+  in
+  List.iter (fun s -> ignore (evaluate s)) starts;
+  (* Coordinate descent: sweep every level of one free axis while the others
+     sit at the incumbent best. *)
+  for _pass = 1 to passes do
+    List.iter
+      (fun i ->
+        for v = 0 to space.(i).cardinality - 1 do
+          let b = (Option.get !best).point in
+          let candidate = Array.copy b in
+          candidate.(i) <- v;
+          ignore (evaluate candidate)
+        done)
+      free_axes
+  done;
+  (* (mu + lambda) refinement: mutants re-roll one or two free coordinates of
+     a parent drawn round-robin from the mu best points seen so far. *)
+  if generations > 0 && lambda > 0 && free_axes <> [] then begin
+    let free = Array.of_list free_axes in
+    for gen = 1 to generations do
+      let pop =
+        let sorted = List.sort compare_outcomes !acc in
+        List.filteri (fun i _ -> i < mu) sorted
+      in
+      let parents = Array.of_list pop in
+      for j = 1 to lambda do
+        let parent = parents.((j - 1) mod Array.length parents) in
+        let rng = Rng.create (Rng.key [ seed; 0x5ea; gen; j ]) in
+        let child = Array.copy parent.point in
+        let mutations = 1 + Rng.int rng 2 in
+        for _ = 1 to mutations do
+          let i = free.(Rng.int rng (Array.length free)) in
+          child.(i) <- Rng.int rng space.(i).cardinality
+        done;
+        ignore (evaluate child)
+      done
+    done
+  end;
+  { best = Option.get !best;
+    outcomes = List.rev !acc;
+    stats =
+      { evaluated = !evaluated;
+        screened_out = !screened_out;
+        cache_hits = !cache_hits;
+        trials_spent = !trials_spent
+      }
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d points (%d screened out, %d cache hits), %d trials" s.evaluated
+    s.screened_out s.cache_hits s.trials_spent

@@ -1,0 +1,127 @@
+(** Generic black-box maximization over a discrete strategy grid.
+
+    The adversary-search experiments (E17) pose the question the soundness
+    theorems answer analytically — "how well can the {e best} cheating
+    prover do?" — as an optimization problem: a cheat strategy is a point
+    of a small discrete grid (one coordinate per knob), its quality is the
+    Monte Carlo acceptance rate on a fixed NO instance, and this module
+    climbs the grid looking for the maximum. The module is deliberately
+    generic: it knows nothing about protocols or fault specs, only about
+    points of an axis grid and a seeded trial function, so the engine
+    library stays free of upward dependencies (the proof layer supplies the
+    semantics via {!Ids_proof.Strategy}).
+
+    {2 Algorithm}
+
+    Two phases over a shared evaluation cache:
+
+    + {b coordinate descent}: starting from each start point, sweep the
+      axes in order, trying every level of one axis while holding the
+      others at the incumbent best — the classic discrete hill climb; run
+      [passes] sweeps so later axes can unlock earlier ones;
+    + {b (μ+λ) evolutionary refinement}: keep the μ best distinct points
+      seen so far, breed λ mutants per generation by re-rolling one or two
+      coordinates of a parent (seeded splitmix64 streams keyed by
+      [(seed, generation, child)]), and keep the best μ of parents ∪
+      children.
+
+    {2 SPRT screening}
+
+    Evaluating every point at the full trial budget is wasteful: most grid
+    points are deterministically rejected cheats (true rate 0). Once the
+    incumbent best clears [screen_floor], each new point is first raced
+    against it with a sequential probability ratio test ({!Sprt}): the
+    screen tests H0 "rate ≤ p0" against H1 "rate ≥ p1" where
+    [p1 = best_rate] and [p0 = p1 / 4]. A point the screen confidently
+    rejects ([Below]) is discarded after a handful of trials; anything else
+    graduates to a full {!Engine.run} evaluation. While the incumbent's
+    rate is below [screen_floor] the screen stays off and every point gets
+    the full budget, which is exactly right: in the tiny-rate regimes the
+    frontier itself sits below any sensible corridor, and distinguishing
+    tiny rates needs the trials.
+
+    {2 Determinism}
+
+    Evaluations use {!Engine.run} / {!Engine.run_sprt}, whose estimates
+    are bit-identical for every worker-domain count; the evaluation order,
+    mutation streams, and tie-breaks are all functions of the
+    configuration alone. Hence the whole search — best point, every
+    estimate, the trial ledger — is reproducible across [IDS_DOMAINS] and
+    process boundaries. *)
+
+type axis = {
+  name : string;  (** For diagnostics and labels only. *)
+  cardinality : int;  (** Number of levels; level indices are [0 .. cardinality - 1]. *)
+}
+
+type space = axis array
+
+type point = int array
+(** One level index per axis, [point.(i)] in [0 .. (axes.(i)).cardinality - 1]. *)
+
+type outcome = {
+  point : point;
+  estimate : Engine.estimate;
+  screened : bool;
+      (** The SPRT screen discarded this point; its estimate covers only
+          the screen's (early-stopped) trials. *)
+}
+
+type stats = {
+  evaluated : int;  (** Distinct points evaluated (cache misses). *)
+  screened_out : int;  (** Of those, points the SPRT screen discarded. *)
+  cache_hits : int;  (** Point revisits answered from the cache. *)
+  trials_spent : int;  (** Total trials across screens and full evaluations. *)
+}
+
+type result = {
+  best : outcome;
+  outcomes : outcome list;  (** Every distinct point evaluated, in evaluation order. *)
+  stats : stats;
+}
+
+val better : outcome -> outcome -> bool
+(** The search's total order: higher rate wins; ties prefer an unscreened
+    (fully evaluated) outcome, then more accepts, then the
+    lexicographically smaller point — deterministic by construction. *)
+
+val run :
+  ?domains:int ->
+  ?chunk:int ->
+  ?seed:int ->
+  ?starts:point list ->
+  ?frozen:(int * int) list ->
+  ?passes:int ->
+  ?mu:int ->
+  ?lambda:int ->
+  ?generations:int ->
+  ?screen_trials:int ->
+  ?screen_floor:float ->
+  full_trials:int ->
+  space:space ->
+  (point -> int -> Accum.trial) ->
+  result
+(** [run ~full_trials ~space f] maximizes the acceptance rate of
+    [f point seed] over the grid. [f] must be pure in [(point, seed)] —
+    the engine's usual contract.
+
+    - [seed] (default 1) drives start-point and mutation randomness;
+    - [starts] (default the all-zeros origin) seeds the descent; every
+      start is clamped into range and overridden by [frozen];
+    - [frozen] pins [(axis, level)] pairs: descent skips those axes and
+      mutations never touch them — used to hold the fault knob at "none"
+      for the paper-model frontier;
+    - [passes] (default 2) coordinate-descent sweeps over the axes;
+    - [mu]/[lambda]/[generations] (defaults 3/6/3) size the evolutionary
+      refinement; [generations = 0] disables it;
+    - [screen_trials] (default 96) caps each SPRT screen; [0] disables
+      screening entirely;
+    - [screen_floor] (default 0.05) is the minimum incumbent rate at which
+      the screen engages (see above);
+    - [full_trials] is the budget of a full evaluation.
+
+    Raises [Invalid_argument] on an empty space, an axis with
+    [cardinality < 1], out-of-range [frozen] entries, or non-positive
+    budgets. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -25,9 +25,19 @@ let gni : (string * Gni.prover) list =
     ("biased-hash", Gni.adversary_biased_hash)
   ]
 
-let lookup registry name = List.assoc_opt name registry
-
 let names registry = List.map fst registry
+
+let lookup registry name =
+  match List.assoc_opt name registry with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown strategy %S (known: %s)" name (String.concat ", " (names registry)))
+
+(* The sweep cases below name their strategies by registry key; resolving
+   through [lookup] keeps the two lists from drifting apart. *)
+let resolve registry name =
+  match lookup registry name with Ok p -> p | Error e -> invalid_arg ("Adversary.cases: " ^ e)
 
 (* --- the PLS baseline's forger ------------------------------------------------ *)
 
@@ -74,11 +84,12 @@ let cases () =
     [ { protocol = "sym_dmam"; strategy = "honest"; kind = Completeness; n = 12;
         run = (fun ~fault seed -> Sym_dmam.run ?fault:(fault_or_none fault) ~seed yes_g Sym_dmam.honest)
       };
-      { protocol = "sym_dmam"; strategy = "random-perm"; kind = Soundness; n = 12;
-        run =
-          (fun ~fault seed ->
-            Sym_dmam.run ?fault:(fault_or_none fault) ~seed no_g Sym_dmam.adversary_random_perm)
-      }
+      (let strategy = "random-perm" in
+       { protocol = "sym_dmam"; strategy; kind = Soundness; n = 12;
+         run =
+           (fun ~fault seed ->
+             Sym_dmam.run ?fault:(fault_or_none fault) ~seed no_g (resolve sym_dmam strategy))
+       })
     ]
   in
   let dsym_cases =
@@ -89,21 +100,23 @@ let cases () =
     [ { protocol = "dsym"; strategy = "honest"; kind = Completeness; n = vertices;
         run = (fun ~fault seed -> Dsym.run ?fault:(fault_or_none fault) ~seed yes Dsym.honest)
       };
-      { protocol = "dsym"; strategy = "consistent"; kind = Soundness; n = vertices;
-        run =
-          (fun ~fault seed ->
-            (* Per-seed perturbation: trial functions must be pure in the seed. *)
-            let bad =
-              Dsym.make_instance ~n:side ~r
-                (Family.dsym_perturbed (Rng.create (31 + seed)) core r)
-            in
-            Dsym.run ?fault:(fault_or_none fault) ~seed bad Dsym.adversary_consistent)
-      };
-      { protocol = "dsym"; strategy = "wrong-permutation"; kind = Soundness; n = vertices;
-        run =
-          (fun ~fault seed ->
-            Dsym.run ?fault:(fault_or_none fault) ~seed yes Dsym.adversary_wrong_permutation)
-      }
+      (let strategy = "consistent" in
+       { protocol = "dsym"; strategy; kind = Soundness; n = vertices;
+         run =
+           (fun ~fault seed ->
+             (* Per-seed perturbation: trial functions must be pure in the seed. *)
+             let bad =
+               Dsym.make_instance ~n:side ~r
+                 (Family.dsym_perturbed (Rng.create (31 + seed)) core r)
+             in
+             Dsym.run ?fault:(fault_or_none fault) ~seed bad (resolve dsym strategy))
+       });
+      (let strategy = "wrong-permutation" in
+       { protocol = "dsym"; strategy; kind = Soundness; n = vertices;
+         run =
+           (fun ~fault seed ->
+             Dsym.run ?fault:(fault_or_none fault) ~seed yes (resolve dsym strategy))
+       })
     ]
   in
   let dam_cases =
@@ -118,23 +131,25 @@ let cases () =
           (fun ~fault seed ->
             Sym_dam.run ?fault:(fault_or_none fault) ~params:yes_params ~seed yes_g Sym_dam.honest)
       };
-      { protocol = "sym_dam"; strategy = "random-perm"; kind = Soundness; n = 8;
-        run =
-          (fun ~fault seed ->
-            Sym_dam.run ?fault:(fault_or_none fault) ~params:no_params ~seed no_g
-              Sym_dam.adversary_random_perm)
-      }
+      (let strategy = "random-perm" in
+       { protocol = "sym_dam"; strategy; kind = Soundness; n = 8;
+         run =
+           (fun ~fault seed ->
+             Sym_dam.run ?fault:(fault_or_none fault) ~params:no_params ~seed no_g
+               (resolve sym_dam strategy))
+       })
     ]
   in
   let gni_cases =
     let inst = Gni.no_instance (Rng.create 16) 6 in
     let params = Gni.params_for ~seed:7 inst in
-    [ { protocol = "gni"; strategy = "biased-hash"; kind = Soundness; n = 6;
-        run =
-          (fun ~fault seed ->
-            Gni.run_single ?fault:(fault_or_none fault) ~params ~seed inst
-              Gni.adversary_biased_hash)
-      }
+    [ (let strategy = "biased-hash" in
+       { protocol = "gni"; strategy; kind = Soundness; n = 6;
+         run =
+           (fun ~fault seed ->
+             Gni.run_single ?fault:(fault_or_none fault) ~params ~seed inst
+               (resolve gni strategy))
+       })
     ]
   in
   let pls_cases =

@@ -22,8 +22,9 @@ val sym_dam : (string * Sym_dam.prover) list
 val dsym : (string * Dsym.prover) list
 val gni : (string * Gni.prover) list
 
-val lookup : (string * 'p) list -> string -> 'p option
-(** [lookup registry name] finds a strategy by its registry name. *)
+val lookup : (string * 'p) list -> string -> ('p, string) result
+(** [lookup registry name] finds a strategy by its registry name; the error
+    message names every known strategy, ready to show a user. *)
 
 val names : (string * 'p) list -> string list
 

@@ -41,13 +41,17 @@ let const n v = Array.make n v
    always roots the tree there. *)
 let honest_root = 0
 
-let respond_consistently params inst challenges =
+(* Honest-shaped play for an arbitrary tree root and aggregation
+   permutation: echo the root's challenge and send the true subtree sums of
+   both matrices, aggregating the b-matrix under [sigma]. The verifiers
+   recompute their own b-terms under the true public sigma, so any other
+   [sigma] fails their subtree equations deterministically. *)
+let respond_with ~root ~sigma params inst challenges =
   let g = inst.graph in
   let size = Graph.n g in
   let f = params.field in
-  let sigma = Precomp.dsym_sigma ~n:inst.n ~r:inst.r in
-  let tree = Precomp.tree g honest_root in
-  let i = challenges.(honest_root) in
+  let tree = Precomp.tree g root in
+  let i = challenges.(root) in
   (* One power table for the shared index replaces a modular exponentiation
      per row term in both sums. *)
   let pows = Linear.powers f i ((size * size) + size) in
@@ -57,44 +61,33 @@ let respond_consistently params inst challenges =
       (Perm.apply_set sigma (Graph.closed_neighborhood g v))
   in
   { index = const size i;
-    root = const size honest_root;
+    root = const size root;
     parent = Array.copy tree.Spanning_tree.parent;
     dist = Array.copy tree.Spanning_tree.dist;
     a = Aggregation.honest_sums f tree ~term:term_a;
     b = Aggregation.honest_sums f tree ~term:term_b
   }
 
+let respond_consistently params inst challenges =
+  respond_with ~root:honest_root ~sigma:(Precomp.dsym_sigma ~n:inst.n ~r:inst.r) params inst
+    challenges
+
 let honest = { name = "honest"; respond = respond_consistently }
 
 let adversary_consistent = { name = "adversary:consistent"; respond = respond_consistently }
 
 (* Plays the honest aggregation but for the wrong permutation: sigma composed
-   with the transposition (0 1). The verifiers recompute their own b-terms
-   under the true public sigma, so the subtree equations fail at the nodes
-   the tweak touches — rejected deterministically, even on YES instances. *)
+   with the transposition (0 1). Rejected deterministically, even on YES
+   instances. *)
 let adversary_wrong_permutation =
   { name = "adversary:wrong-permutation";
     respond =
       (fun params inst challenges ->
-        let g = inst.graph in
-        let size = Graph.n g in
-        let f = params.field in
-        let sigma = Perm.compose (Precomp.dsym_sigma ~n:inst.n ~r:inst.r) (Perm.transposition size 0 1) in
-        let tree = Precomp.tree g honest_root in
-        let i = challenges.(honest_root) in
-        let pows = Linear.powers f i ((size * size) + size) in
-        let term_a v = Linear.row_hash_pow f ~powers:pows ~n:size ~row:v (Graph.closed_neighborhood g v) in
-        let term_b v =
-          Linear.row_hash_pow f ~powers:pows ~n:size ~row:(Perm.apply sigma v)
-            (Perm.apply_set sigma (Graph.closed_neighborhood g v))
+        let size = Graph.n inst.graph in
+        let sigma =
+          Perm.compose (Precomp.dsym_sigma ~n:inst.n ~r:inst.r) (Perm.transposition size 0 1)
         in
-        { index = const size i;
-          root = const size honest_root;
-          parent = Array.copy tree.Spanning_tree.parent;
-          dist = Array.copy tree.Spanning_tree.dist;
-          a = Aggregation.honest_sums f tree ~term:term_a;
-          b = Aggregation.honest_sums f tree ~term:term_b
-        })
+        respond_with ~root:honest_root ~sigma params inst challenges)
   }
 
 (* The purely structural conditions (2) and (3) of Definition 5, from the

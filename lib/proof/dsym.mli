@@ -41,6 +41,18 @@ type prover = { name : string; respond : params -> instance -> int array -> resp
 
 val honest : prover
 
+(** {1 Strategy building blocks}
+
+    Exposed so the E17 strategy space ({!Strategy}) can compose cheats from
+    the same pieces the registry adversaries use. *)
+
+val respond_with :
+  root:int -> sigma:Ids_graph.Perm.t -> params -> instance -> int array -> response
+(** Honest-shaped play for an arbitrary tree root and aggregation
+    permutation: echo [root]'s challenge and send the true subtree sums of
+    both matrices, aggregating the b-matrix under [sigma]. The honest prover
+    is [respond_with ~root:0 ~sigma:(Precomp.dsym_sigma ...)]. *)
+
 val run : ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> instance -> prover -> Outcome.t
 (** One execution. [fault] injects faults into every channel round (see
     {!Ids_network.Fault}); omitted or {!Ids_network.Fault.none} is the exact

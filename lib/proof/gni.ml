@@ -238,69 +238,82 @@ let honest_reveal params inst (_ch : challenge) (c : commit) audit =
 
 let honest = { name = "honest"; commit = honest_commit; reveal = honest_reveal }
 
-let adversary_forge_aggregates =
-  { name = "adversary:forge-aggregates";
-    commit =
-      (fun params inst ch ->
-        let c = honest_commit params inst ch in
-        if not c.miss.(0) then c
-        else begin
-          (* Claim a preimage that does not exist. *)
-          let n = inst.n in
-          let table = Perm.to_array (Perm.random (Rng.create 99) n) in
-          { c with miss = const n false; sigma = const n table; b = const n 0 }
-        end);
-    reveal =
-      (fun params inst ch c audit ->
-        let r = honest_reveal params inst ch c audit in
-        (* Patch the root's aggregate so the outer target equation passes. *)
-        let f = params.field in
-        let root = c.root.(0) and spec = c.spec_echo.(0) and target = c.target_echo.(0) in
-        let current = Api.finalize f spec r.agg.(root) in
-        if f.Field.equal current target then r
-        else begin
-          let k = params.copies in
-          let c0 = spec.Api.coeffs.(0) in
-          (* Solve c0 * delta = target - current for delta when c0 <> 0. *)
-          let delta =
-            if c0 = 0 then 0
-            else begin
-              let diff = f.Field.sub target current in
-              (* Fermat inversion: c0^(q-2) mod q. *)
-              let inv = f.Field.pow_int c0 (params.q - 2) in
-              f.Field.mul diff inv
-            end
-          in
-          let agg = Array.map Array.copy r.agg in
-          agg.(root).(0) <- f.Field.add agg.(root).(0) delta;
-          ignore k;
-          { r with agg }
-        end)
+type commit_mode = [ `Search | `Deny of [ `Identity | `Random of int ] | `Always_identity ]
+
+type reveal_mode = [ `Honest | `Patch_root ]
+
+(* Honest search, but a miss is never admitted: claim a preimage that does
+   not exist (the failed search already ruled every table out, so the bet is
+   hopeless, but the structural checks all pass until the root's target
+   equation). *)
+let deny_commit table_for params inst ch =
+  let c = honest_commit params inst ch in
+  if not c.miss.(0) then c
+  else begin
+    let n = inst.n in
+    { c with miss = const n false; sigma = const n (table_for n); b = const n 0 }
+  end
+
+(* Never searches: commits to (identity, g0) whether or not the target has a
+   preimage, betting on the identity hash landing on the target. The reveal
+   is honest for that commitment, so every structural check passes and the
+   bet is settled by the root's outer target equation alone — per repetition
+   it wins with probability about 1/q, far below the honest miss rate of
+   roughly 1 - 2 n!/q. *)
+let always_identity_commit _params inst (ch : challenge) =
+  let n = inst.n in
+  let tree = Precomp.tree inst.g0 honest_root in
+  { miss = const n false;
+    b = const n 0;
+    sigma = const n (identity_table n);
+    root = const n honest_root;
+    spec_echo = const n ch.specs.(honest_root);
+    target_echo = const n ch.targets.(honest_root);
+    parent = Array.copy tree.Spanning_tree.parent;
+    dist = Array.copy tree.Spanning_tree.dist
   }
 
-(* Never admits a miss: commits to (identity, g0) whether or not the target
-   has a preimage, betting on the identity hash landing on the target. The
-   reveal is honest for that commitment, so every structural check passes and
-   the bet is settled by the root's outer target equation alone — per
-   repetition it wins with probability about 1/q, far below the honest miss
-   rate of roughly 1 - 2 n!/q. *)
+(* Patch the root's aggregate so the outer target equation passes; the
+   root's own aggregation check then fails instead. *)
+let patch_root_reveal params inst ch c audit =
+  let r = honest_reveal params inst ch c audit in
+  let f = params.field in
+  let root = c.root.(0) and spec = c.spec_echo.(0) and target = c.target_echo.(0) in
+  let current = Api.finalize f spec r.agg.(root) in
+  if f.Field.equal current target then r
+  else begin
+    let c0 = spec.Api.coeffs.(0) in
+    (* Solve c0 * delta = target - current for delta when c0 <> 0. *)
+    let delta =
+      if c0 = 0 then 0
+      else begin
+        let diff = f.Field.sub target current in
+        (* Fermat inversion: c0^(q-2) mod q. *)
+        let inv = f.Field.pow_int c0 (params.q - 2) in
+        f.Field.mul diff inv
+      end
+    in
+    let agg = Array.map Array.copy r.agg in
+    agg.(root).(0) <- f.Field.add agg.(root).(0) delta;
+    { r with agg }
+  end
+
+let cheat ~name ~commit ~reveal =
+  let commit =
+    match commit with
+    | `Search -> honest_commit
+    | `Deny `Identity -> deny_commit identity_table
+    | `Deny (`Random seed) -> deny_commit (fun n -> Perm.to_array (Perm.random (Rng.create seed) n))
+    | `Always_identity -> always_identity_commit
+  in
+  let reveal = match reveal with `Honest -> honest_reveal | `Patch_root -> patch_root_reveal in
+  { name; commit; reveal }
+
+let adversary_forge_aggregates =
+  cheat ~name:"adversary:forge-aggregates" ~commit:(`Deny (`Random 99)) ~reveal:`Patch_root
+
 let adversary_biased_hash =
-  { name = "adversary:biased-hash";
-    commit =
-      (fun _params inst ch ->
-        let n = inst.n in
-        let tree = Precomp.tree inst.g0 honest_root in
-        { miss = const n false;
-          b = const n 0;
-          sigma = const n (identity_table n);
-          root = const n honest_root;
-          spec_echo = const n ch.specs.(honest_root);
-          target_echo = const n ch.targets.(honest_root);
-          parent = Array.copy tree.Spanning_tree.parent;
-          dist = Array.copy tree.Spanning_tree.dist
-        });
-    reveal = honest_reveal
-  }
+  cheat ~name:"adversary:biased-hash" ~commit:`Always_identity ~reveal:`Honest
 
 (* --- execution --------------------------------------------------------------- *)
 

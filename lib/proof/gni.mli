@@ -108,6 +108,33 @@ val adversary_biased_hash : prover
     the target — a per-repetition hit rate of about [1/q], far below the
     honest rate, so the amplified protocol rejects it. *)
 
+(** {1 Parameterized cheats (the E17 strategy space)} *)
+
+type commit_mode =
+  [ `Search  (** Honest preimage search; a miss is admitted (and loses). *)
+  | `Deny of [ `Identity | `Random of int ]
+    (** Honest search, but a miss is never admitted: commit to the given
+        table (with [b = 0]) and hope — hopeless, since the failed search
+        already ruled the table out, so the rate equals [`Search]'s. The
+        [int] seeds the random table, keeping the cheat replayable. *)
+  | `Always_identity
+    (** Skip the search entirely and always commit to [(identity, g0)] —
+        {!adversary_biased_hash}'s bet, winning with probability ~[1/q]. *)
+  ]
+
+type reveal_mode =
+  [ `Honest
+  | `Patch_root
+    (** Patch the root's first inner aggregate so the outer target equation
+        passes; the root's own aggregation check then fails instead. *)
+  ]
+
+val cheat : name:string -> commit:commit_mode -> reveal:reveal_mode -> prover
+(** Compose a cheating prover from the two knobs above. The registry
+    adversaries are instances: {!adversary_forge_aggregates} is
+    [`Deny (`Random 99)] + [`Patch_root], {!adversary_biased_hash} is
+    [`Always_identity] + [`Honest]. *)
+
 val run_single :
   ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> instance -> prover -> Outcome.t
 (** One repetition; [accepted] means all nodes found it locally valid (a

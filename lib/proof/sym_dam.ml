@@ -148,38 +148,37 @@ let collides params g table pows =
   in
   f.Field.equal ha hb
 
+let search_table ?(extra = 20) ~seed params g challenges =
+  let n = Graph.n g in
+  let rng = Rng.create seed in
+  let candidates =
+    List.concat
+      [ List.concat_map
+          (fun u ->
+            List.filter_map
+              (fun w -> if u < w then Some (Perm.to_array (Perm.transposition n u w)) else None)
+              (List.init n Fun.id))
+          (List.init n Fun.id);
+        List.init extra (fun _ -> Perm.to_array (Perm.random_nonidentity rng n))
+      ]
+  in
+  (* The root the consistent strategy will use is the first vertex the
+     mapping moves, so test the collision under that root's challenge.
+     At most n distinct roots arise over all candidates, so memoize the
+     power tables by challenge index. *)
+  let powers_of = Linear.powers_memo params.field ((n * n) + n) in
+  let winning table =
+    let rec moved v = if v >= n then 0 else if table.(v) <> v then v else moved (v + 1) in
+    collides params g table (powers_of challenges.(moved 0))
+  in
+  match List.find_opt winning candidates with Some t -> t | None -> fallback_table n
+
 let adversary_search =
   { name = "adversary:search";
     respond =
       (fun params g challenges ->
-        let n = Graph.n g in
-        let rng = Rng.create (Hashtbl.hash (Graph.encode g) lxor 0x9e1) in
-        let candidates =
-          List.concat
-            [ List.concat_map
-                (fun u ->
-                  List.filter_map
-                    (fun w -> if u < w then Some (Perm.to_array (Perm.transposition n u w)) else None)
-                    (List.init n Fun.id))
-                (List.init n Fun.id);
-              List.init 20 (fun _ -> Perm.to_array (Perm.random_nonidentity rng n))
-            ]
-        in
-        (* The root the consistent strategy will use is the first vertex the
-           mapping moves, so test the collision under that root's challenge.
-           At most n distinct roots arise over all candidates, so memoize the
-           power tables by challenge index. *)
-        let powers_of = Linear.powers_memo params.field ((n * n) + n) in
-        let winning table =
-          let rec moved v = if v >= n then 0 else if table.(v) <> v then v else moved (v + 1) in
-          collides params g table (powers_of challenges.(moved 0))
-        in
-        let table =
-          match List.find_opt winning candidates with
-          | Some t -> t
-          | None -> fallback_table n
-        in
-        respond_with_rho params g challenges table)
+        let seed = Hashtbl.hash (Graph.encode g) lxor 0x9e1 in
+        respond_with_rho params g challenges (search_table ~seed params g challenges))
   }
 
 let adversary_random_perm =

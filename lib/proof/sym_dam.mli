@@ -46,6 +46,33 @@ type prover = {
 
 val honest : prover
 
+(** {1 Strategy building blocks}
+
+    Exposed so the E17 strategy space ({!Strategy}) can compose cheats from
+    the same pieces the registry adversaries use. *)
+
+val respond_with_rho :
+  params -> Ids_graph.Graph.t -> Ids_bignum.Nat.t array -> int array -> response
+(** Consistent play for a given mapping table: root at the first vertex the
+    table moves (vertex 0 if it moves none), echo of that root's challenge,
+    true subtree sums for both matrices. *)
+
+val fallback_table : int -> int array
+(** The transposition [(0 1)] as a table — the honest prover's losing but
+    well-formed move on asymmetric graphs. *)
+
+val search_table :
+  ?extra:int ->
+  seed:int ->
+  params ->
+  Ids_graph.Graph.t ->
+  Ids_bignum.Nat.t array ->
+  int array
+(** The challenge-aware collision search behind {!adversary_search}: scan
+    every transposition plus [extra] (default 20) seeded random non-identity
+    permutations for a table colliding under the would-be root's revealed
+    challenge; fall back to {!fallback_table} when none collides. *)
+
 val run :
   ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> Ids_graph.Graph.t -> prover -> Outcome.t
 (** One execution. [fault] injects faults into every channel round (see

@@ -58,6 +58,24 @@ val honest : prover
     protocol. On an asymmetric (or disconnected) graph it has no valid
     strategy and plays a losing commitment. *)
 
+(** {1 Strategy building blocks}
+
+    Exposed so the E17 strategy space ({!Strategy}) can compose cheats from
+    the same pieces the registry adversaries use. *)
+
+val commit_with_rho : Ids_graph.Graph.t -> Ids_graph.Perm.t -> commitment
+(** A well-formed commitment to the given permutation: a spanning tree
+    rooted at a vertex [rho] moves (vertex 0 if it moves none). *)
+
+val respond_consistently :
+  params -> Ids_graph.Graph.t -> commitment -> int array -> response
+(** Consistent second-round play for whatever [rho] was committed: echo the
+    root's challenge and send the true subtree sums for both matrices. *)
+
+val fallback_rho : Ids_graph.Graph.t -> Ids_graph.Perm.t
+(** The honest prover's losing but well-formed move when the graph is
+    asymmetric: the transposition [(0 1)]. *)
+
 val run :
   ?fault:Ids_network.Fault.spec -> ?params:params -> seed:int -> Ids_graph.Graph.t -> prover -> Outcome.t
 (** Execute the protocol once. The seed drives Arthur's coins (and the

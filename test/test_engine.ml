@@ -208,6 +208,76 @@ let test_sprt_determinism_across_domains () =
         [ 2; 4 ])
     [ 0.95; 0.05; 0.5 ]
 
+(* The decision boundary itself: Wald's corridor for H0 rate <= p0 vs
+   H1 rate >= p1 at error levels alpha = beta = 1e-3 is
+   (log (beta / (1-alpha)), log ((1-beta) / alpha)); the log-likelihood
+   ratio of k accepts in n trials is k log (p1/p0) + (n-k) log ((1-p1)/(1-p0)).
+   Recomputed here from first principles: a decision on the wrong side of
+   the corridor — or silence outside it — is a fault in Sprt.decide
+   regardless of how plausible the downstream estimates look. *)
+let sprt_boundary_case st =
+  let a = 0.001 +. Random.State.float st 0.997 in
+  let b = 0.001 +. Random.State.float st 0.997 in
+  let p0 = Float.min a b and p1 = Float.max a b in
+  let trials = Random.State.int st 500 in
+  let accepts = if trials = 0 then 0 else Random.State.int st (trials + 1) in
+  (p0, p1, trials, accepts)
+
+let prop_sprt_decisions_respect_corridor =
+  QCheck.Test.make ~name:"SPRT decisions never leave the likelihood corridor" ~count:2000
+    (QCheck.make
+       ~print:(fun (p0, p1, n, k) -> Printf.sprintf "p0=%f p1=%f trials=%d accepts=%d" p0 p1 n k)
+       sprt_boundary_case)
+    (fun (p0, p1, trials, accepts) ->
+      QCheck.assume (p0 < p1);
+      let plan = Sprt.plan ~p0 ~p1 () in
+      let llr =
+        (float_of_int accepts *. log (p1 /. p0))
+        +. (float_of_int (trials - accepts) *. log ((1. -. p1) /. (1. -. p0)))
+      in
+      let log_a = log ((1. -. 1e-3) /. 1e-3) and log_b = log (1e-3 /. (1. -. 1e-3)) in
+      let acc = { Accum.empty with Accum.trials; accepts } in
+      match Sprt.decide plan acc with
+      | Some Sprt.Above -> llr >= log_a
+      | Some Sprt.Below -> llr <= log_b
+      | None -> log_b < llr && llr < log_a)
+
+let prop_sprt_decisions_monotone =
+  QCheck.Test.make ~name:"SPRT decisions are monotone in further evidence" ~count:2000
+    (QCheck.make
+       ~print:(fun (p0, p1, n, k) -> Printf.sprintf "p0=%f p1=%f trials=%d accepts=%d" p0 p1 n k)
+       sprt_boundary_case)
+    (fun (p0, p1, trials, accepts) ->
+      QCheck.assume (p0 < p1);
+      let plan = Sprt.plan ~p0 ~p1 () in
+      let decide trials accepts = Sprt.decide plan { Accum.empty with Accum.trials; accepts } in
+      match decide trials accepts with
+      (* One more confirming trial can only strengthen a crossed boundary. *)
+      | Some Sprt.Above -> decide (trials + 1) (accepts + 1) = Some Sprt.Above
+      | Some Sprt.Below -> decide (trials + 1) accepts = Some Sprt.Below
+      | None -> true)
+
+let test_sprt_pinned_trace () =
+  (* Regression pin: the exact stopping point of Definition 2's SPRT on one
+     fixed seeded Bernoulli stream, both for a sequential fold over
+     Sprt.decide and for the engine's chunk-granular Engine.run_sprt. *)
+  let plan = Sprt.definition2 () in
+  let trial = biased_trial 0.95 in
+  let rec fold acc i =
+    let acc = Accum.add acc (trial i) in
+    match Sprt.decide plan acc with
+    | Some d -> (i + 1, acc.Accum.accepts, d)
+    | None -> fold acc (i + 1)
+  in
+  let stop_trials, stop_accepts, d = fold Accum.empty 0 in
+  Alcotest.(check int) "sequential stop index" 10 stop_trials;
+  Alcotest.(check int) "sequential accepts at stop" 10 stop_accepts;
+  Alcotest.(check bool) "sequential decision" true (d = Sprt.Above);
+  let est, decision = Engine.run_sprt ~domains:1 ~plan ~max_trials:2000 trial in
+  Alcotest.(check bool) "engine decision" true (decision = Some Sprt.Above);
+  Alcotest.(check int) "engine trials at stop" 32 est.Engine.trials;
+  Alcotest.(check int) "engine accepts at stop" 31 est.Engine.accepts
+
 let test_sprt_undecided_near_threshold () =
   (* A perfectly balanced trial stream keeps the log-likelihood ratio at
      zero on every chunk boundary: the test must burn the whole budget and
@@ -296,7 +366,10 @@ let suite =
     ( "engine-sprt",
       [ Alcotest.test_case "agrees with full run on both sides" `Quick test_sprt_agrees_with_full_run;
         Alcotest.test_case "deterministic across domains" `Quick test_sprt_determinism_across_domains;
-        Alcotest.test_case "undecided near threshold" `Quick test_sprt_undecided_near_threshold
+        Alcotest.test_case "undecided near threshold" `Quick test_sprt_undecided_near_threshold;
+        qtest prop_sprt_decisions_respect_corridor;
+        qtest prop_sprt_decisions_monotone;
+        Alcotest.test_case "pinned stopping trace" `Quick test_sprt_pinned_trace
       ] );
     ( "engine-runlog",
       [ Alcotest.test_case "JSON line shape" `Quick test_runlog_json_shape ] );

@@ -325,12 +325,41 @@ let test_corrupt_hooks_change_value () =
 
 let test_registry_lookup () =
   Alcotest.(check bool) "sym_dmam random-perm" true
-    (Adversary.lookup Adversary.sym_dmam "random-perm" <> None);
+    (Result.is_ok (Adversary.lookup Adversary.sym_dmam "random-perm"));
   Alcotest.(check bool) "dsym wrong-permutation" true
-    (Adversary.lookup Adversary.dsym "wrong-permutation" <> None);
+    (Result.is_ok (Adversary.lookup Adversary.dsym "wrong-permutation"));
   Alcotest.(check bool) "gni biased-hash" true
-    (Adversary.lookup Adversary.gni "biased-hash" <> None);
-  Alcotest.(check bool) "unknown name" true (Adversary.lookup Adversary.sym_dam "nope" = None);
+    (Result.is_ok (Adversary.lookup Adversary.gni "biased-hash"));
+  (match Adversary.lookup Adversary.sym_dam "nope" with
+  | Ok _ -> Alcotest.fail "lookup of unknown name succeeded"
+  | Error msg ->
+    (* The error path must name the strategies that do exist. *)
+    let contains sub =
+      let n = String.length msg and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+      go 0
+    in
+    let mentions s =
+      Alcotest.(check bool) (Printf.sprintf "error mentions %s" s) true (contains s)
+    in
+    mentions "nope";
+    List.iter mentions (Adversary.names Adversary.sym_dam));
+  (* Every sweep-case strategy resolves through the registry it names. *)
+  List.iter
+    (fun (c : Adversary.case) ->
+      let resolves =
+        match c.Adversary.protocol with
+        | "sym_dmam" -> Result.is_ok (Adversary.lookup Adversary.sym_dmam c.Adversary.strategy)
+        | "sym_dam" -> Result.is_ok (Adversary.lookup Adversary.sym_dam c.Adversary.strategy)
+        | "dsym" -> Result.is_ok (Adversary.lookup Adversary.dsym c.Adversary.strategy)
+        | "gni" -> Result.is_ok (Adversary.lookup Adversary.gni c.Adversary.strategy)
+        | _ -> c.Adversary.strategy = "honest" || c.Adversary.protocol = "pls_tree"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s resolves" c.Adversary.protocol c.Adversary.strategy)
+        true
+        (c.Adversary.strategy = "honest" || resolves))
+    (Adversary.cases ());
   let unique names = List.sort_uniq compare names = List.sort compare names in
   List.iter
     (fun names -> Alcotest.(check bool) "names unique" true (unique names))

@@ -4,4 +4,5 @@ let () =
     @ Test_engine.suite @ Test_protocols.suite @ Test_faults.suite @ Test_lowerbound.suite
     @ Test_extensions.suite
     @ Test_obs.suite
+    @ Test_strategy.suite
     @ Test_features.suite @ Test_properties.suite @ Test_integration.suite @ Test_setup.suite)

@@ -1,0 +1,222 @@
+(* Tests for the E17 adversary-search layer: qcheck round-trips and
+   line-carrying rejections for the strategy codec, bit-identical searches
+   across worker domains and tracing, search-dominates-registry on every
+   protocol, and the frontier pins that freeze each protocol's best-found
+   strategy (encoding + acceptance estimate) as a regression oracle. *)
+
+module Search = Ids_engine.Search
+module Engine = Ids_engine.Engine
+module Obs = Ids_obs.Obs
+open Ids_proof
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* --- codec round-trip ---------------------------------------------------------- *)
+
+let protocols = [ Strategy.Sym_dmam; Strategy.Sym_dam; Strategy.Dsym; Strategy.Gni ]
+
+(* Uniform over the whole space: any protocol, any seed, any grid point. *)
+let strategy_gen st =
+  let protocol = List.nth protocols (Random.State.int st (List.length protocols)) in
+  let space = Strategy.space protocol in
+  let seed = Random.State.int st 10_000 in
+  let point =
+    Array.map (fun (a : Search.axis) -> Random.State.int st a.Search.cardinality) space
+  in
+  Strategy.make protocol ~seed point
+
+let strategy_arb = QCheck.make ~print:Strategy.encode strategy_gen
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"decode (encode s) = Ok s" ~count:500 strategy_arb (fun s ->
+      match Strategy.decode (Strategy.encode s) with
+      | Ok s' -> Strategy.equal s s'
+      | Error _ -> false)
+
+let prop_encode_injective =
+  QCheck.Test.make ~name:"encode is injective" ~count:300
+    (QCheck.pair strategy_arb strategy_arb) (fun (a, b) ->
+      Strategy.equal a b = (Strategy.encode a = Strategy.encode b))
+
+(* --- codec rejections ---------------------------------------------------------- *)
+
+let valid_line =
+  "strategy v1 sym_dmam seed=0 perm=fallback split=none sums=consistent echo=root fault=none"
+
+let test_codec_rejections () =
+  (match Strategy.decode valid_line with
+  | Ok s -> Alcotest.(check string) "reference line round-trips" valid_line (Strategy.encode s)
+  | Error e -> Alcotest.failf "reference line rejected: %s" e);
+  List.iter
+    (fun (name, line) ->
+      match Strategy.decode line with
+      | Ok s -> Alcotest.failf "%s accepted (as %s): %S" name (Strategy.encode s) line
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error carries a token position (%s)" name e)
+          true (contains e "token");
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error carries the line (%s)" name e)
+          true (contains e line))
+    [ ("wrong magic", "plan v1 sym_dmam seed=0 perm=fallback");
+      ("wrong version", "strategy v2 sym_dmam seed=0 perm=fallback");
+      ("unknown protocol", "strategy v1 sym_damam seed=0 perm=fallback");
+      ("missing seed", "strategy v1 sym_dmam perm=fallback split=none");
+      ("malformed seed", "strategy v1 sym_dmam seed=x perm=fallback");
+      ( "unknown field",
+        "strategy v1 sym_dmam seed=0 perm=fallback glitch=none sums=consistent echo=root \
+         fault=none" );
+      ( "unknown level",
+        "strategy v1 sym_dmam seed=0 perm=warp split=none sums=consistent echo=root fault=none" );
+      ("truncated", "strategy v1 sym_dmam seed=0 perm=fallback split=none sums=consistent");
+      ("trailing token", valid_line ^ " extra=1");
+      ("empty line", "") ]
+
+let test_make_validates () =
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | (_ : Strategy.t) -> Alcotest.failf "%s accepted" name)
+    [ ("wrong arity", fun () -> Strategy.make Strategy.Sym_dmam ~seed:0 [| 0; 0 |]);
+      ("level out of range", fun () -> Strategy.make Strategy.Gni ~seed:0 [| 9; 0; 0 |]);
+      ("negative level", fun () -> Strategy.make Strategy.Dsym ~seed:0 [| 0; -1; 0; 0; 0 |]) ]
+
+(* --- search determinism -------------------------------------------------------- *)
+
+(* Everything that must be invariant under scheduling (all estimate fields
+   except the recorded worker count). *)
+let strip (e : Engine.estimate) =
+  ( e.Engine.trials,
+    e.Engine.accepts,
+    e.Engine.rate,
+    e.Engine.mean_bits,
+    e.Engine.max_bits,
+    e.Engine.ci_low,
+    e.Engine.ci_high,
+    e.Engine.stopped_early )
+
+let strip_outcome (o : Search.outcome) = (Array.to_list o.Search.point, strip o.Search.estimate, o.Search.screened)
+
+let strip_result (r : Search.result) =
+  (strip_outcome r.Search.best, List.map strip_outcome r.Search.outcomes, r.Search.stats)
+
+(* The test-tier search: the bench's smoke budgets. Deliberately fixed
+   numbers (not Engine.scaled_trials) so the pins below hold in the full
+   and the @runtest-fast tier alike. *)
+let run_case ?domains (case : Strategy.frontier_case) =
+  Search.run ?domains
+    ~frozen:[ (Strategy.fault_axis case.Strategy.protocol, 0) ]
+    ~passes:1 ~generations:1 ~screen_trials:8 ~full_trials:32 ~space:case.Strategy.space
+    case.Strategy.trial
+
+let sym_dmam_case () =
+  List.find
+    (fun (c : Strategy.frontier_case) -> c.Strategy.protocol = Strategy.Sym_dmam)
+    (Strategy.frontier_cases ())
+
+let test_search_determinism_across_domains () =
+  let case = sym_dmam_case () in
+  let reference = strip_result (run_case ~domains:1 case) in
+  List.iter
+    (fun d ->
+      let r = strip_result (run_case ~domains:d case) in
+      Alcotest.(check bool) (Printf.sprintf "domains=%d bit-identical" d) true (r = reference))
+    [ 2; 4 ]
+
+let test_search_determinism_under_tracing () =
+  let case = sym_dmam_case () in
+  let was = Obs.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      Obs.set_enabled false;
+      let off = strip_result (run_case ~domains:2 case) in
+      Obs.set_enabled true;
+      let on = strip_result (run_case ~domains:2 case) in
+      Alcotest.(check bool) "IDS_TRACE on/off bit-identical" true (on = off))
+
+(* --- frontier pins -------------------------------------------------------------- *)
+
+(* The best strategy the test-tier search finds per protocol, with its
+   exact acceptance estimate — harvested from a reference run and pinned.
+   Moving any of these means the search, a protocol, or an adversary
+   changed behaviour; that must be a deliberate, reviewed event. *)
+let pins =
+  [ ( "sym_dmam",
+      "strategy v1 sym_dmam seed=0 perm=fallback split=none sums=consistent echo=root fault=none",
+      0 );
+    ("sym_dam", "strategy v1 sym_dam seed=0 perm=search sums=consistent echo=root fault=none", 0);
+    ("dsym", "strategy v1 dsym seed=0 perm=sigma root=zero sums=consistent echo=root fault=none", 0);
+    ("gni", "strategy v1 gni seed=0 commit=search reveal=honest fault=none", 6) ]
+
+let test_frontier_pins_and_domination () =
+  List.iter
+    (fun (case : Strategy.frontier_case) ->
+      let label = case.Strategy.label in
+      let pin_encoding, pin_accepts =
+        let _, e, a = List.find (fun (l, _, _) -> l = label) pins in
+        (e, a)
+      in
+      let r = run_case case in
+      let best = r.Search.best in
+      let found = case.Strategy.strategy_of best.Search.point in
+      Alcotest.(check string) (label ^ ": pinned best strategy") pin_encoding
+        (Strategy.encode found);
+      Alcotest.(check int) (label ^ ": pinned accepts") pin_accepts best.Search.estimate.Engine.accepts;
+      Alcotest.(check int) (label ^ ": full evaluation") 32 best.Search.estimate.Engine.trials;
+      Alcotest.(check bool) (label ^ ": best not screened") false best.Search.screened;
+      (* The acceptance criterion: the search must find a strategy at least
+         as strong as every hand-written registry cheater. At seed 0 the
+         registry points are grid points, so this holds deterministically. *)
+      List.iter
+        (fun (name, trial) ->
+          let e = Engine.run ~trials:32 trial in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: search (%.4f) >= registry %s (%.4f)" label
+               best.Search.estimate.Engine.rate name e.Engine.rate)
+            true
+            (best.Search.estimate.Engine.rate >= e.Engine.rate))
+        case.Strategy.registry)
+    (Strategy.frontier_cases ())
+
+let test_strategy_prover_names_carry_encoding () =
+  (* The run-log contract: a strategy prover's name is its encoding, so a
+     frontier record can always be decoded back to the strategy it ran. *)
+  List.iter
+    (fun (case : Strategy.frontier_case) ->
+      let s = case.Strategy.strategy_of (Array.map (fun _ -> 0) case.Strategy.space) in
+      let name =
+        match case.Strategy.protocol with
+        | Strategy.Sym_dmam -> (Strategy.sym_dmam_prover s).Sym_dmam.name
+        | Strategy.Sym_dam -> (Strategy.sym_dam_prover s).Sym_dam.name
+        | Strategy.Dsym -> (Strategy.dsym_prover s).Dsym.name
+        | Strategy.Gni -> Gni.prover_name (Strategy.gni_prover s)
+      in
+      Alcotest.(check string) (case.Strategy.label ^ ": prover name is the encoding")
+        (Strategy.encode s) name)
+    (Strategy.frontier_cases ())
+
+let suite =
+  [ ( "strategy-codec",
+      [ qtest prop_codec_roundtrip;
+        qtest prop_encode_injective;
+        Alcotest.test_case "rejections carry token and line" `Quick test_codec_rejections;
+        Alcotest.test_case "make validates arity and range" `Quick test_make_validates
+      ] );
+    ( "strategy-search",
+      [ Alcotest.test_case "bit-identical across domains" `Quick
+          test_search_determinism_across_domains;
+        Alcotest.test_case "bit-identical under tracing" `Quick
+          test_search_determinism_under_tracing;
+        Alcotest.test_case "frontier pins and registry domination" `Quick
+          test_frontier_pins_and_domination;
+        Alcotest.test_case "prover names carry the encoding" `Quick
+          test_strategy_prover_names_carry_encoding
+      ] )
+  ]
