@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make test` is the tier-1 gate.
 
-.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup faults frontier clean
+.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup bench-serve faults frontier serve-smoke clean
 
 all:
 	dune build
@@ -13,15 +13,17 @@ test:
 # the modular-arithmetic kernel smoke, the setup-path smoke (gated prime
 # search cross-checked against the reference pipeline), the soundness
 # frontier smoke (search-dominates-registry assertion), the run-log
-# inspector's embedded v2/v3 samples, and the tracing layer's
-# zero-cost-when-disabled bound.
+# inspector's embedded v2/v3 samples, the tracing layer's
+# zero-cost-when-disabled bound, and the verification-service smoke
+# (daemon round-trip with a forced worker kill + torn-tail recovery).
 check:
 	dune build && dune runtest && \
 	dune exec bench/modarith/main.exe -- --smoke && \
 	dune exec bench/setup/main.exe -- --smoke && \
 	dune exec bench/frontier/main.exe -- --smoke -o /dev/null && \
 	dune exec bin/ids_inspect.exe -- --self-test && \
-	dune exec bench/obs/main.exe -- --smoke
+	dune exec bench/obs/main.exe -- --smoke && \
+	dune exec bench/serve/main.exe -- --smoke
 
 # Same suite with Monte Carlo trial budgets cut down via IDS_TRIALS_SCALE.
 test-fast:
@@ -60,6 +62,20 @@ faults:
 # budgets, bit-identical across IDS_DOMAINS).
 frontier:
 	dune exec bench/frontier/main.exe
+
+# E18 smoke: boot the ids-serve daemon, run a handful of requests through
+# forked workers (one with a forced mid-request kill, recovered by retry),
+# assert bit-identity against the in-process engine and a clean SIGTERM
+# drain, then the torn-tail recovery drill on the framed run log.
+serve-smoke:
+	dune exec bench/serve/main.exe -- --smoke
+
+# E18 full chaos bench: 60 requests under a 10% seeded worker-kill schedule
+# plus forced kills, the shed-at-the-bound burst phase, and the kill -9
+# torn-tail drill. Regenerates BENCH_serve.json and asserts 100%
+# availability of accepted requests with every record bit-identical.
+bench-serve:
+	dune exec bench/serve/main.exe
 
 clean:
 	dune clean

@@ -6,7 +6,13 @@
      ids-inspect                         # summarize ./ids_runs.jsonl
      ids-inspect path/to/runs.jsonl
      ids-inspect --protocol sym_dmam     # one protocol's tables only
-     ids-inspect --self-test             # parser + renderer smoke (no file) *)
+     ids-inspect --follow ids_serve_runs.jsonl   # tail the live daemon log
+     ids-inspect --self-test             # parser + renderer smoke (no file)
+
+   Reading is lenient: the good prefix of a recovered (crash-truncated or
+   partially torn) log renders normally, with a note about where and why
+   reading stopped; a missing or empty log is "no records yet", not an
+   error. *)
 
 module Runlog = Ids_engine.Runlog
 module Strategy = Ids_proof.Strategy
@@ -326,22 +332,66 @@ let self_test () =
   print_endline "\nids-inspect self-test: OK";
   0
 
+(* --- follow mode --------------------------------------------------------------------- *)
+
+(* Tail a live log (the serving daemon's, typically): print each new record
+   as one line, resuming from the previous read's good_end. A torn tail is
+   the normal mid-append state — stay quiet and retry; a bad line is
+   corruption — warn once and stop advancing past the good prefix. *)
+let follow_log file protocol =
+  let offset = ref 0 in
+  let warned = ref (-1) in
+  let print_record (r : Runlog.record) =
+    match protocol with
+    | Some p when r.Runlog.protocol <> p -> ()
+    | _ ->
+      Printf.printf "%-12s n=%-4d %-28s %-20s trials=%-6d rate=%.4f [%.4f,%.4f] bits/node=%.1f\n%!"
+        r.Runlog.protocol r.Runlog.n r.Runlog.prover
+        (match r.Runlog.fault with Some f -> "fault=" ^ f | None -> "fault=-")
+        r.Runlog.trials r.Runlog.rate r.Runlog.ci_low r.Runlog.ci_high r.Runlog.mean_bits
+  in
+  Printf.printf "following %s (interrupt to stop)\n%!" file;
+  let rec loop () : int =
+    (if Sys.file_exists file then
+       match Runlog.read_from file ~offset:!offset with
+       | Error e -> Printf.eprintf "ids-inspect: %s\n%!" e
+       | Ok { Runlog.records; good_end; tail } ->
+         List.iter print_record records;
+         offset := good_end;
+         (match tail with
+         | Some (Runlog.Bad_line _ as t) when !warned <> good_end ->
+           warned := good_end;
+           Printf.eprintf "ids-inspect: %s: %s\n%!" file (Runlog.tail_error_to_string t)
+         | _ -> ()));
+    Unix.sleepf 0.25;
+    loop ()
+  in
+  loop ()
+
 (* --- CLI ----------------------------------------------------------------------------- *)
 
-let run file protocol self =
+let run file protocol self follow =
   if self then self_test ()
+  else if follow then follow_log file protocol
   else if not (Sys.file_exists file) then begin
-    Printf.eprintf "ids-inspect: no run log at %S (run the bench first, or pass a path)\n" file;
-    1
+    Printf.printf "%s: no records yet\n" file;
+    0
   end
   else
-    match Runlog.read_file file with
+    match Runlog.read_file_lenient file with
     | Error e ->
       Printf.eprintf "ids-inspect: %s\n" e;
       1
-    | Ok records ->
+    | Ok { Runlog.records; tail; _ } ->
       Printf.printf "%s:\n" file;
-      report ?protocol records;
+      if records = [] && tail = None then print_endline "no records yet"
+      else begin
+        report ?protocol records;
+        match tail with
+        | None -> ()
+        | Some t ->
+          Printf.printf "\n(reading stopped early: %s)\n" (Runlog.tail_error_to_string t)
+      end;
       0
 
 let cmd =
@@ -357,7 +407,16 @@ let cmd =
     let doc = "Run the built-in parser/renderer smoke test and exit (reads no files)." in
     Arg.(value & flag & info [ "self-test" ] ~doc)
   in
+  let follow_t =
+    let doc =
+      "Tail the log: print each new record as it is appended (the live view of a \
+       running ids-serve daemon). Runs until interrupted."
+    in
+    Arg.(value & flag & info [ "follow"; "f" ] ~doc)
+  in
   let doc = "Inspect the machine-readable run log of the IDS bench harness" in
-  Cmd.v (Cmd.info "ids-inspect" ~version:"1.0.0" ~doc) Term.(const run $ file_t $ protocol_t $ self_t)
+  Cmd.v
+    (Cmd.info "ids-inspect" ~version:"1.0.0" ~doc)
+    Term.(const run $ file_t $ protocol_t $ self_t $ follow_t)
 
 let () = exit (Cmd.eval' cmd)

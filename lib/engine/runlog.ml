@@ -90,6 +90,93 @@ let log ?fault ?metrics ~protocol ~n ~prover e =
     output_char oc '\n';
     flush oc
 
+(* --- crash-safe framed sink ---------------------------------------------------- *)
+
+(* The serving daemon's log must survive kill -9 mid-write: plain JSONL
+   leaves a torn final line that poisons the whole file for strict readers.
+   Framed records make the torn tail detectable and cheap to cut off:
+
+     =IDS <payload-byte-length>\n<payload>\n
+
+   The header's byte length lets recovery know exactly where the record
+   should end without trusting the payload's content; [Framed.create] runs
+   that recovery on open (truncating a torn tail in place) and every
+   [Framed.write] is a single [write] syscall followed by [fsync] (unless
+   [~sync:false]), so the on-disk prefix at any crash point is a whole
+   number of records plus at most one torn tail. *)
+module Framed = struct
+  let magic = "=IDS "
+
+  let frame payload = Printf.sprintf "%s%d\n%s\n" magic (String.length payload) payload
+
+  (* [scan s offset] walks frames from [offset]: payloads in order, the byte
+     offset just past the last whole frame, and the reason the walk stopped
+     early (if it did). A bad header mid-file is reported the same way as a
+     truncated tail — the fsync'd append-only discipline means everything
+     after the first framing violation is untrustworthy. *)
+  let scan s offset =
+    let len = String.length s in
+    let ml = String.length magic in
+    let rec go o acc =
+      if o >= len then (List.rev acc, o, None)
+      else
+        let torn reason = (List.rev acc, o, Some reason) in
+        if o + ml > len then torn "truncated frame magic"
+        else if String.sub s o ml <> magic then torn "bad frame magic"
+        else begin
+          let h = ref (o + ml) in
+          while !h < len && s.[!h] >= '0' && s.[!h] <= '9' do incr h done;
+          if !h = o + ml then torn "frame header has no length"
+          else if !h >= len then torn "truncated frame header"
+          else if s.[!h] <> '\n' then torn "malformed frame header"
+          else
+            let plen = int_of_string (String.sub s (o + ml) (!h - (o + ml))) in
+            let pstart = !h + 1 in
+            let pend = pstart + plen in
+            if pend > len then torn "truncated payload"
+            else if pend = len then torn "truncated payload terminator"
+            else if s.[pend] <> '\n' then torn "missing payload terminator"
+            else go (pend + 1) (String.sub s pstart plen :: acc)
+        end
+    in
+    go offset []
+
+  type writer = { fd : Unix.file_descr; wpath : string; sync : bool; wtruncated : int }
+
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let create ?(sync = true) path =
+    match
+      let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+      let contents = try read_all path with Sys_error _ -> "" in
+      let _, good_end, _torn = scan contents 0 in
+      let dropped = String.length contents - good_end in
+      if dropped > 0 then Unix.ftruncate fd good_end;
+      ignore (Unix.lseek fd good_end Unix.SEEK_SET : int);
+      { fd; wpath = path; sync; wtruncated = dropped }
+    with
+    | w -> Ok w
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+    | exception Sys_error msg -> Error msg
+
+  let truncated w = w.wtruncated
+  let path w = w.wpath
+
+  let write w payload =
+    let line = frame payload in
+    let len = String.length line in
+    let rec put o = if o < len then put (o + Unix.write_substring w.fd line o (len - o)) in
+    put 0;
+    if w.sync then Unix.fsync w.fd
+
+  let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()
+end
+
 (* --- reading records back ----------------------------------------------------- *)
 
 type record = {
@@ -158,20 +245,79 @@ let of_line line =
   | Error e -> Error e
   | Ok j -> of_json j
 
-let read_file path =
-  match open_in path with
+type tail_error =
+  | Torn_tail of { offset : int; reason : string }
+  | Bad_line of { lineno : int; reason : string }
+
+type contents = { records : record list; good_end : int; tail : tail_error option }
+
+let tail_error_to_string = function
+  | Torn_tail { offset; reason } -> Printf.sprintf "torn trailing record at byte %d (%s)" offset reason
+  | Bad_line { lineno; reason } -> Printf.sprintf "%d: %s" lineno reason
+
+(* Plain-JSONL walk from byte [offset]: whole newline-terminated lines parse
+   as records; a malformed line that the file ends on without a newline is a
+   torn tail (an interrupted append), while a malformed line {e inside} the
+   file is a per-line error. [good_end] stops at the first problem either
+   way, so a tail-follower can retry from a record boundary. A well-formed
+   final line without its newline is accepted (matching [input_line]). *)
+let parse_jsonl s offset =
+  let len = String.length s in
+  let rec go o lineno acc =
+    if o >= len then { records = List.rev acc; good_end = o; tail = None }
+    else
+      let nl = try Some (String.index_from s o '\n') with Not_found -> None in
+      let line_end = match nl with Some i -> i | None -> len in
+      let line = String.sub s o (line_end - o) in
+      let next = line_end + (match nl with Some _ -> 1 | None -> 0) in
+      if line = "" then go next (lineno + 1) acc
+      else
+        match of_line line with
+        | Ok r -> go next (lineno + 1) (r :: acc)
+        | Error e ->
+          let tail =
+            match nl with
+            | None -> Torn_tail { offset = o; reason = e }
+            | Some _ -> Bad_line { lineno; reason = e }
+          in
+          { records = List.rev acc; good_end = o; tail = Some tail }
+  in
+  go offset 1 []
+
+(* Framed walk: framing violations are torn tails at the frame's offset;
+   a payload that frames correctly but doesn't decode is a per-record
+   error (framing intact means the bytes were written whole). *)
+let parse_framed s offset =
+  let payloads, good_end, torn = Framed.scan s offset in
+  let torn_tail = Option.map (fun reason -> Torn_tail { offset = good_end; reason }) torn in
+  let rec go idx acc = function
+    | [] -> { records = List.rev acc; good_end; tail = torn_tail }
+    | p :: rest -> (
+      match of_line p with
+      | Ok r -> go (idx + 1) (r :: acc) rest
+      | Error e ->
+        { records = List.rev acc; good_end; tail = Some (Bad_line { lineno = idx; reason = e }) })
+  in
+  go 1 [] payloads
+
+let is_framed s =
+  String.length s >= String.length Framed.magic
+  && String.sub s 0 (String.length Framed.magic) = Framed.magic
+
+let read_from path ~offset =
+  match Framed.read_all path with
   | exception Sys_error msg -> Error msg
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let rec go lineno acc =
-          match input_line ic with
-          | exception End_of_file -> Ok (List.rev acc)
-          | "" -> go (lineno + 1) acc
-          | line -> (
-            match of_line line with
-            | Ok r -> go (lineno + 1) (r :: acc)
-            | Error e -> Error (Printf.sprintf "%s:%d: %s" path lineno e))
-        in
-        go 1 [])
+  | s ->
+    let offset = if offset < 0 || offset > String.length s then 0 else offset in
+    Ok (if is_framed s then parse_framed s offset else parse_jsonl s offset)
+
+let read_file_lenient path = read_from path ~offset:0
+
+let read_file path =
+  match read_file_lenient path with
+  | Error e -> Error e
+  | Ok { tail = None; records; _ } -> Ok records
+  | Ok { tail = Some (Bad_line { lineno; reason }); _ } ->
+    Error (Printf.sprintf "%s:%d: %s" path lineno reason)
+  | Ok { tail = Some (Torn_tail _ as t); _ } ->
+    Error (Printf.sprintf "%s: %s" path (tail_error_to_string t))

@@ -50,6 +50,38 @@ val log :
 val close : unit -> unit
 (** Flush and close the current sink, if it was opened by this module. *)
 
+(** {1 Crash-safe framed sink}
+
+    The serving daemon ([ids_serve]) appends its records through this
+    writer instead of the plain JSONL sink: each record is framed as
+    [=IDS <payload-bytes>\n<payload>\n] and (by default) [fsync]'d, so a
+    [kill -9] mid-write leaves a whole-record prefix plus at most one torn
+    tail, which {!Framed.create} detects and truncates on the next open.
+    {!read_file} / {!read_file_lenient} auto-detect the framing. *)
+module Framed : sig
+  val magic : string
+  (** The record prefix (["=IDS "]); a file starting with it is framed. *)
+
+  val frame : string -> string
+  (** The on-disk bytes of one record (header, payload, terminator). *)
+
+  type writer
+
+  val create : ?sync:bool -> string -> (writer, string) result
+  (** Open [path] for appending, first truncating any torn trailing record
+      (crash recovery). [sync] (default [true]) fsyncs after every write. *)
+
+  val truncated : writer -> int
+  (** Bytes of torn tail removed by recovery at {!create} time (0 = clean). *)
+
+  val path : writer -> string
+
+  val write : writer -> string -> unit
+  (** Append one framed record (the payload must not contain ['\n']). *)
+
+  val close : writer -> unit
+end
+
 (** {1 Reading records back} *)
 
 type record = {
@@ -77,7 +109,37 @@ val of_json : Ids_obs.Json.t -> (record, string) result
 val of_line : string -> (record, string) result
 (** Parse + decode one log line. *)
 
+type tail_error =
+  | Torn_tail of { offset : int; reason : string }
+      (** The file ends in an interrupted write: [offset] is where the good
+          prefix ends (a record boundary, safe to truncate to or resume
+          reading from). *)
+  | Bad_line of { lineno : int; reason : string }
+      (** A complete line/record (1-based index) that doesn't decode —
+          corruption or a foreign format, not a torn append. *)
+
+type contents = {
+  records : record list;  (** The good prefix, in file order. *)
+  good_end : int;  (** Byte offset just past the last good record. *)
+  tail : tail_error option;  (** Why reading stopped before EOF, if it did. *)
+}
+
+val tail_error_to_string : tail_error -> string
+
+val read_file_lenient : string -> (contents, string) result
+(** All leading good records of a run log (framed or plain JSONL,
+    auto-detected), plus a structured description of the first problem
+    instead of a hard failure — crash recovery and [ids_inspect] keep the
+    good prefix. [Error] only for filesystem-level failures. Blank JSONL
+    lines are skipped. *)
+
+val read_from : string -> offset:int -> (contents, string) result
+(** {!read_file_lenient} starting at byte [offset] (a record boundary, e.g.
+    a previous read's [good_end]; out-of-range offsets restart at 0). The
+    [ids_inspect --follow] tailing primitive. *)
+
 val read_file : string -> (record list, string) result
-(** All records of a JSONL file, in file order; the first malformed or
-    unsupported line aborts with ["path:lineno: reason"]. Blank lines are
-    skipped. *)
+(** Strict mode (tests, regression pins): all records of the file, in file
+    order; the first malformed or unsupported line aborts with
+    ["path:lineno: reason"] (torn tails abort with the byte offset). Blank
+    lines are skipped. *)

@@ -1,0 +1,50 @@
+module Fault = Ids_network.Fault
+module Adversary = Ids_proof.Adversary
+module Stats = Ids_proof.Stats
+module Engine = Ids_engine.Engine
+module Runlog = Ids_engine.Runlog
+
+type entry = {
+  protocol : string;
+  strategy : string;
+  kind : string;
+  n : int;
+  run : fault:Fault.spec -> int -> Ids_engine.Accum.trial;
+}
+
+(* Adversary.cases rebuilds its fixed instances on every call; the daemon's
+   workers serve many requests, so build once per process. *)
+let entries_lazy =
+  lazy
+    (List.map
+       (fun (c : Adversary.case) ->
+         { protocol = c.Adversary.protocol;
+           strategy = c.Adversary.strategy;
+           kind = Adversary.kind_to_string c.Adversary.kind;
+           n = c.Adversary.n;
+           run = (fun ~fault seed -> Stats.trial_of_outcome (c.Adversary.run ~fault seed))
+         })
+       (Adversary.cases ()))
+
+let entries () = Lazy.force entries_lazy
+
+let find ~protocol ~strategy =
+  let all = entries () in
+  match List.find_opt (fun e -> e.protocol = protocol && e.strategy = strategy) all with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %s/%s (known: %s)" protocol strategy
+         (String.concat ", " (List.map (fun e -> e.protocol ^ "/" ^ e.strategy) all)))
+
+let execute e ~trials ~fault = Engine.run ~domains:1 ~trials (fun seed -> e.run ~fault seed)
+
+let record_of e ~fault est =
+  let fault_label = if Fault.is_none fault then None else Some (Fault.to_string fault) in
+  Runlog.to_json ?fault:fault_label ~protocol:e.protocol ~n:e.n
+    ~prover:(e.kind ^ ":" ^ e.strategy) est
+
+let execute_request ~protocol ~strategy ~trials ~fault =
+  match find ~protocol ~strategy with
+  | Error e -> Error e
+  | Ok entry -> Ok (record_of entry ~fault (execute entry ~trials ~fault))

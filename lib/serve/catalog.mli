@@ -1,0 +1,45 @@
+(** The serving daemon's request catalog: named, fixed-instance workloads.
+
+    A served estimate must be reproducible anywhere — the chaos bench pins
+    every completed response bit-identical to an in-process replay — so the
+    daemon only serves workloads whose instances are derived from hard-coded
+    seeds: exactly the registry the fault sweeps already measure
+    ({!Ids_proof.Adversary.cases}). A request names a workload by
+    [(protocol, strategy)], picks a trial budget, and optionally injects
+    network faults; execution always runs the deterministic engine
+    single-domain (worker processes are the parallelism axis here). *)
+
+type entry = {
+  protocol : string;
+  strategy : string;
+  kind : string;  (** ["completeness"] or ["soundness"]. *)
+  n : int;  (** Network size of the fixed instance. *)
+  run : fault:Ids_network.Fault.spec -> int -> Ids_engine.Accum.trial;
+}
+
+val entries : unit -> entry list
+(** The catalog, in registry order. Instances are built once per process
+    (first call) and reused — the daemon's workers pay the setup cost on
+    their first request only. *)
+
+val find : protocol:string -> strategy:string -> (entry, string) result
+(** The error names every known [(protocol, strategy)] pair. *)
+
+val execute : entry -> trials:int -> fault:Ids_network.Fault.spec -> Ids_engine.Engine.estimate
+(** [Engine.run] over [seed = 1 .. trials], single-domain: bit-identical in
+    every process that executes the same request. *)
+
+val record_of : entry -> fault:Ids_network.Fault.spec -> Ids_engine.Engine.estimate -> string
+(** The Runlog-v3 record line for one executed request (prover labeled
+    [kind:strategy], fault label included when faults are injected) — the
+    wire payload, the daemon's log record, and the oracle's comparison
+    string. *)
+
+val execute_request :
+  protocol:string ->
+  strategy:string ->
+  trials:int ->
+  fault:Ids_network.Fault.spec ->
+  (string, string) result
+(** Lookup + execute + render: what a worker does with one request, and
+    what the bench replays in-process to check bit-identity. *)

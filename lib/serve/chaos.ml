@@ -1,0 +1,64 @@
+module Rng = Ids_bignum.Rng
+
+type spec = { kill : float; seed : int }
+
+let none = { kill = 0.; seed = 0 }
+
+let make ?(kill = 0.) ?(seed = 0) () =
+  if not (kill >= 0. && kill <= 1.) then
+    invalid_arg (Printf.sprintf "Chaos.make: kill rate %g outside [0, 1]" kill);
+  { kill; seed }
+
+let is_none s = s.kill = 0.
+
+let to_string s =
+  if is_none s then "none"
+  else if s.seed = 0 then Printf.sprintf "kill=%g" s.kill
+  else Printf.sprintf "kill=%g,seed=%d" s.kill s.seed
+
+let of_string str =
+  let item acc part =
+    match String.trim part with
+    | "" | "none" -> acc
+    | part -> (
+      match String.index_opt part '=' with
+      | None -> invalid_arg (Printf.sprintf "Chaos.of_string: missing '=' in %S" part)
+      | Some i -> (
+        let key = String.sub part 0 i in
+        let v = String.sub part (i + 1) (String.length part - i - 1) in
+        match key with
+        | "kill" -> (
+          match float_of_string_opt v with
+          | Some r when r >= 0. && r <= 1. -> { acc with kill = r }
+          | _ -> invalid_arg (Printf.sprintf "Chaos.of_string: bad kill rate %S" v))
+        | "seed" -> (
+          match int_of_string_opt v with
+          | Some n -> { acc with seed = n }
+          | None -> invalid_arg (Printf.sprintf "Chaos.of_string: bad seed %S" v))
+        | _ -> invalid_arg (Printf.sprintf "Chaos.of_string: unknown key %S" key)))
+  in
+  List.fold_left item none (String.split_on_char ',' str)
+
+let of_env () =
+  match Sys.getenv_opt "IDS_SERVE_CHAOS" with
+  | None | Some "" -> None
+  | Some s -> Some (of_string s)
+
+(* FNV-1a-style fold of the request id into one integer key component (the
+   offset basis is the standard one truncated to OCaml's int range);
+   collisions only correlate two ids' kill streams, never break
+   determinism. *)
+let hash_id id =
+  let h = ref 0x2bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    id;
+  !h land max_int
+
+let kills s ~id ~attempt =
+  s.kill > 0.
+  &&
+  let rng = Rng.create (Rng.key [ s.seed; hash_id id; attempt ]) in
+  Rng.float rng < s.kill

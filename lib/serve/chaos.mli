@@ -1,0 +1,44 @@
+(** Seeded worker-kill injection for the serving daemon.
+
+    The chaos bench needs worker crashes that are {e reproducible}: the same
+    requests must die on the same attempts on every machine, at every
+    [IDS_DOMAINS] setting, so availability numbers and recovery pins can be
+    compared across runs. Following the fault layer's discipline
+    ({!Ids_network.Fault}), kill decisions are therefore never drawn from
+    shared generator state: each one is a fresh splitmix64 stream keyed by
+    [(spec seed, request id, attempt)]. The worker process consults
+    {!kills} once per attempt, before computing, and SIGKILLs itself when
+    the decision fires — an honest crash from the supervisor's point of
+    view. *)
+
+type spec = {
+  kill : float;  (** Per-attempt self-kill probability, in [0, 1]. *)
+  seed : int;  (** Keys every decision stream; same seed = same kills. *)
+}
+
+val none : spec
+(** Kill rate zero: workers never self-kill. *)
+
+val make : ?kill:float -> ?seed:int -> unit -> spec
+(** [kill] defaults to [0.], [seed] to [0].
+    @raise Invalid_argument if [kill] is outside [0, 1]. *)
+
+val is_none : spec -> bool
+
+val to_string : spec -> string
+(** Canonical label, e.g. ["kill=0.1,seed=42"] or ["none"]; the format
+    {!of_string} parses. *)
+
+val of_string : string -> spec
+(** Parse a comma-separated list of [kill=R] and [seed=N] (plus [none] /
+    empty items, which are ignored). This is the [IDS_SERVE_CHAOS] format.
+    @raise Invalid_argument on an unknown key or unparsable value. *)
+
+val of_env : unit -> spec option
+(** The spec named by the [IDS_SERVE_CHAOS] environment variable, if set to
+    a non-empty string. @raise Invalid_argument if set but unparsable. *)
+
+val kills : spec -> id:string -> attempt:int -> bool
+(** Does attempt [attempt] (1-based) of request [id] die? Pure in its
+    arguments: retries re-roll (the stream is keyed by the attempt number),
+    so a killed request survives eventually with probability 1. *)

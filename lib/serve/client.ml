@@ -1,0 +1,86 @@
+type t = { fd : Unix.file_descr; buf : Buffer.t; mutable closed : bool }
+
+let connect ?(wait = 2.0) path =
+  let deadline = Unix.gettimeofday () +. wait in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; buf = Buffer.create 256; closed = false }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        (* The daemon may still be binding its socket: retry briefly. *)
+        ignore (Unix.select [] [] [] 0.05);
+        go ()
+      end
+      else
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  in
+  go ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd s =
+  let len = String.length s in
+  let rec put o = if o < len then put (o + Unix.write_substring fd s o (len - o)) in
+  put 0
+
+let send t req =
+  if t.closed then Error "connection closed"
+  else
+    match write_all t.fd (Request.to_json req ^ "\n") with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      close t;
+      Error (Printf.sprintf "send: %s" (Unix.error_message e))
+
+(* One line from the socket (blocking); the buffer carries read-ahead between
+   calls so pipelined responses are not lost. *)
+let read_line t =
+  let rec take () =
+    let data = Buffer.contents t.buf in
+    match String.index_opt data '\n' with
+    | Some i ->
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf (String.sub data (i + 1) (String.length data - i - 1));
+      Ok (String.sub data 0 i)
+    | None -> (
+      let chunk = Bytes.create 8192 in
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+        close t;
+        Error "connection closed by daemon"
+      | n ->
+        Buffer.add_subbytes t.buf chunk 0 n;
+        take ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ()
+      | exception Unix.Unix_error (e, _, _) ->
+        close t;
+        Error (Printf.sprintf "recv: %s" (Unix.error_message e)))
+  in
+  if t.closed then Error "connection closed" else take ()
+
+let recv t =
+  match read_line t with
+  | Error _ as e -> e
+  | Ok line -> Request.response_of_line line
+
+let request t req =
+  match send t req with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Skip responses for other ids (pipelined traffic is the bench's job;
+       interleaving here would be a caller bug, but don't wedge on it). *)
+    let rec wait () =
+      match recv t with
+      | Error _ as e -> e
+      | Ok resp ->
+        let rid = Request.response_id resp in
+        if rid = req.Request.id || rid = "" then Ok resp else wait ()
+    in
+    wait ()

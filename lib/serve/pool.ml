@@ -1,0 +1,122 @@
+type worker = {
+  wid : int;
+  pid : int;
+  req_w : Unix.file_descr;  (* parent writes request lines *)
+  resp_r : Unix.file_descr;  (* parent reads response lines (non-blocking) *)
+  buf : Buffer.t;  (* partial response line *)
+  mutable closed : bool;
+}
+
+let wid w = w.wid
+let pid w = w.pid
+let read_fd w = w.resp_r
+let write_fd w = w.req_w
+
+(* --- the child ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec put o = if o < len then put (o + Unix.write_substring fd s o (len - o)) in
+  put 0
+
+let worker_main ~chaos rfd wfd =
+  (* The parent controls this process's lifecycle through the pipes (EOF =
+     drain) and SIGKILL (deadline); terminal-delivered signals must not take
+     a shard down mid-request. *)
+  Sys.set_signal Sys.sigterm Sys.Signal_ignore;
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let ic = Unix.in_channel_of_descr rfd in
+  let respond resp =
+    match write_all wfd (Request.response_to_json resp ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error _ -> Unix._exit 0 (* parent is gone *)
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> Unix._exit 0
+    | line ->
+      (match Request.of_line line with
+      | Error e -> respond (Request.Rejected { id = ""; reject = Request.Bad_request e })
+      | Ok ({ Request.id; op }, attempt) -> (
+        match op with
+        | Request.Ping -> respond (Request.Pong { id })
+        | Request.Stats ->
+          respond
+            (Request.Rejected { id; reject = Request.Bad_request "stats is answered by the daemon" })
+        | Request.Estimate { protocol; strategy; trials; fault; kill_attempt } ->
+          let die =
+            match kill_attempt with
+            | Some a -> a = attempt
+            | None -> Chaos.kills chaos ~id ~attempt
+          in
+          if die then Unix.kill (Unix.getpid ()) Sys.sigkill;
+          let resp =
+            match Catalog.execute_request ~protocol ~strategy ~trials ~fault with
+            | Ok record -> Request.Estimated { id; attempts = attempt; record }
+            | Error e -> Request.Rejected { id; reject = Request.Bad_request e }
+          in
+          respond resp));
+      loop ()
+  in
+  loop ()
+
+(* --- the parent side ------------------------------------------------------------ *)
+
+let spawn ?(chaos = Chaos.none) ?(extra_close = []) ~wid () =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  (* Unflushed stdio would be duplicated into the child's exit path. *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close req_w;
+    Unix.close resp_r;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) extra_close;
+    worker_main ~chaos req_r resp_w
+  | pid ->
+    Unix.close req_r;
+    Unix.close resp_w;
+    Unix.set_nonblock resp_r;
+    { wid; pid; req_w; resp_r; buf = Buffer.create 256; closed = false }
+
+let send w ~attempt req =
+  match write_all w.req_w (Request.to_json ~attempt req ^ "\n") with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+let read w =
+  let chunk = Bytes.create 8192 in
+  let rec drain () =
+    match Unix.read w.resp_r chunk 0 (Bytes.length chunk) with
+    | 0 -> `Closed
+    | n ->
+      Buffer.add_subbytes w.buf chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Open
+    | exception Unix.Unix_error _ -> `Closed
+  in
+  let state = drain () in
+  let data = Buffer.contents w.buf in
+  Buffer.clear w.buf;
+  let rec split o acc =
+    match String.index_from_opt data o '\n' with
+    | Some i -> split (i + 1) (String.sub data o (i - o) :: acc)
+    | None ->
+      Buffer.add_string w.buf (String.sub data o (String.length data - o));
+      List.rev acc
+  in
+  let lines = split 0 [] in
+  match (state, lines) with
+  | `Closed, [] -> `Eof
+  | _, lines -> `Lines lines
+
+let kill w = try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let shutdown w =
+  if not w.closed then begin
+    w.closed <- true;
+    (try Unix.close w.req_w with Unix.Unix_error _ -> ());
+    try Unix.close w.resp_r with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,50 @@
+(** Worker-process mechanics: fork, pipe IPC, kill, reap.
+
+    One {!worker} is a forked child running {!worker_main}: a loop that
+    reads request lines from its parent, executes them through {!Catalog}
+    single-domain, and writes response lines back. All supervision {e
+    policy} lives in {!Supervisor}; this module only provides the
+    primitives its actions need ([Spawn] → {!spawn}, [Assign] → {!send},
+    [Kill] → {!kill}) plus the crash-observation side ({!read}, {!reap}).
+
+    Chaos injection happens in the child: before computing, the worker
+    consults {!Chaos.kills} (or the request's forced [kill_attempt]) and
+    SIGKILLs itself when the decision fires — indistinguishable from a real
+    crash at the parent, which is the point. *)
+
+type worker
+
+val spawn : ?chaos:Chaos.spec -> ?extra_close:Unix.file_descr list -> wid:int -> unit -> worker
+(** Fork a worker into slot [wid]. The child closes [extra_close] (the
+    parent's listening socket, client connections, other workers' pipes,
+    run-log fd) so it holds no descriptor it doesn't own. *)
+
+val wid : worker -> int
+val pid : worker -> int
+
+val read_fd : worker -> Unix.file_descr
+(** The parent-side response pipe, for [select]. *)
+
+val write_fd : worker -> Unix.file_descr
+(** The parent-side request pipe. Newly forked siblings must close their
+    copy of it ([extra_close]), or this worker would never see EOF on
+    drain. *)
+
+val send : worker -> attempt:int -> Request.t -> bool
+(** Write one request line; [false] when the pipe is broken (the worker
+    died — a [Crashed] event is already on its way via SIGCHLD). *)
+
+val read : worker -> [ `Lines of string list | `Eof ]
+(** Drain available response data (the fd is non-blocking): zero or more
+    complete lines, or [`Eof] when the worker closed its end (death). *)
+
+val kill : worker -> unit
+(** SIGKILL (deadline overrun). Idempotent; the reaper observes the death. *)
+
+val shutdown : worker -> unit
+(** Close both pipes: a live worker exits cleanly on EOF (drain path). *)
+
+val worker_main : chaos:Chaos.spec -> Unix.file_descr -> Unix.file_descr -> 'a
+(** The child's request loop (exposed for tests): reads requests from the
+    first descriptor, writes responses to the second, [Unix._exit]s on EOF.
+    Never returns. *)

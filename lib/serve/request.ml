@@ -1,0 +1,159 @@
+module Fault = Ids_network.Fault
+module Json = Ids_obs.Json
+
+(* Same escaping as Runlog's writer: the wire is hand-emitted JSON lines. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type op =
+  | Estimate of {
+      protocol : string;
+      strategy : string;
+      trials : int;
+      fault : Fault.spec;
+      kill_attempt : int option;
+    }
+  | Stats
+  | Ping
+
+type t = { id : string; op : op }
+
+let make_estimate ?(fault = Fault.none) ?kill_attempt ~id ~protocol ~strategy ~trials () =
+  { id; op = Estimate { protocol; strategy; trials; fault; kill_attempt } }
+
+let to_json ?attempt t =
+  let attempt_field =
+    match attempt with None -> "" | Some a -> Printf.sprintf ",\"attempt\":%d" a
+  in
+  match t.op with
+  | Ping -> Printf.sprintf "{\"op\":\"ping\",\"id\":\"%s\"%s}" (escape t.id) attempt_field
+  | Stats -> Printf.sprintf "{\"op\":\"stats\",\"id\":\"%s\"%s}" (escape t.id) attempt_field
+  | Estimate { protocol; strategy; trials; fault; kill_attempt } ->
+    let kill_field =
+      match kill_attempt with None -> "" | Some a -> Printf.sprintf ",\"kill_attempt\":%d" a
+    in
+    Printf.sprintf
+      "{\"op\":\"estimate\",\"id\":\"%s\",\"protocol\":\"%s\",\"strategy\":\"%s\",\"trials\":%d,\"fault\":\"%s\"%s%s}"
+      (escape t.id) (escape protocol) (escape strategy) trials
+      (escape (Fault.to_string fault))
+      kill_field attempt_field
+
+let valid_id id =
+  id <> "" && String.length id <= 200 && String.for_all (fun c -> Char.code c >= 0x20) id
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+  in
+  let* id = field "id" Json.to_string in
+  if not (valid_id id) then Error "invalid request id (empty, oversized, or control characters)"
+  else
+    let attempt = Option.value (Option.bind (Json.member "attempt" j) Json.to_int) ~default:1 in
+    if attempt < 1 then Error "attempt must be >= 1"
+    else
+      let* op = field "op" Json.to_string in
+      match op with
+      | "ping" -> Ok ({ id; op = Ping }, attempt)
+      | "stats" -> Ok ({ id; op = Stats }, attempt)
+      | "estimate" ->
+        let* protocol = field "protocol" Json.to_string in
+        let* strategy = field "strategy" Json.to_string in
+        let* trials = field "trials" Json.to_int in
+        if trials < 1 then Error "trials must be >= 1"
+        else
+          let* fault =
+            match Option.bind (Json.member "fault" j) Json.to_string with
+            | None -> Ok Fault.none
+            | Some s -> (
+              match Fault.of_string s with
+              | f -> Ok f
+              | exception Invalid_argument m -> Error m)
+          in
+          let kill_attempt = Option.bind (Json.member "kill_attempt" j) Json.to_int in
+          Ok ({ id; op = Estimate { protocol; strategy; trials; fault; kill_attempt } }, attempt)
+      | op -> Error (Printf.sprintf "unknown op %S (estimate, stats, ping)" op)
+
+let of_line line =
+  match Json.parse line with Error e -> Error e | Ok j -> of_json j
+
+(* --- responses ----------------------------------------------------------------- *)
+
+type reject = Overloaded | Draining | Bad_request of string | Failed of string
+
+type response =
+  | Estimated of { id : string; attempts : int; record : string }
+  | Stats_reply of { id : string; stats : (string * int) list }
+  | Pong of { id : string }
+  | Rejected of { id : string; reject : reject }
+
+let response_id = function
+  | Estimated { id; _ } | Stats_reply { id; _ } | Pong { id } | Rejected { id; _ } -> id
+
+let response_to_json = function
+  | Estimated { id; attempts; record } ->
+    Printf.sprintf "{\"id\":\"%s\",\"status\":\"ok\",\"attempts\":%d,\"record\":\"%s\"}" (escape id)
+      attempts (escape record)
+  | Stats_reply { id; stats } ->
+    Printf.sprintf "{\"id\":\"%s\",\"status\":\"stats\",\"stats\":{%s}}" (escape id)
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v) stats))
+  | Pong { id } -> Printf.sprintf "{\"id\":\"%s\",\"status\":\"pong\"}" (escape id)
+  | Rejected { id; reject } -> (
+    let simple status = Printf.sprintf "{\"id\":\"%s\",\"status\":\"%s\"}" (escape id) status in
+    match reject with
+    | Overloaded -> simple "overloaded"
+    | Draining -> simple "draining"
+    | Bad_request m ->
+      Printf.sprintf "{\"id\":\"%s\",\"status\":\"bad_request\",\"error\":\"%s\"}" (escape id)
+        (escape m)
+    | Failed m ->
+      Printf.sprintf "{\"id\":\"%s\",\"status\":\"failed\",\"error\":\"%s\"}" (escape id) (escape m))
+
+let response_of_line line =
+  let ( let* ) = Result.bind in
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok j -> (
+    let field name conv =
+      match Option.bind (Json.member name j) conv with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+    in
+    let* id = field "id" Json.to_string in
+    let* status = field "status" Json.to_string in
+    let error_msg () =
+      Option.value (Option.bind (Json.member "error" j) Json.to_string) ~default:"unspecified"
+    in
+    match status with
+    | "ok" ->
+      let* attempts = field "attempts" Json.to_int in
+      let* record = field "record" Json.to_string in
+      Ok (Estimated { id; attempts; record })
+    | "stats" -> (
+      match Json.member "stats" j with
+      | Some (Json.Obj fields) ->
+        let stats =
+          List.filter_map (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v)) fields
+        in
+        Ok (Stats_reply { id; stats })
+      | _ -> Error "missing or mistyped field \"stats\"")
+    | "pong" -> Ok (Pong { id })
+    | "overloaded" -> Ok (Rejected { id; reject = Overloaded })
+    | "draining" -> Ok (Rejected { id; reject = Draining })
+    | "bad_request" -> Ok (Rejected { id; reject = Bad_request (error_msg ()) })
+    | "failed" -> Ok (Rejected { id; reject = Failed (error_msg ()) })
+    | s -> Error (Printf.sprintf "unknown status %S" s))

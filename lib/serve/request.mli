@@ -1,0 +1,78 @@
+(** Wire codec of the verification service.
+
+    One request or response per line, JSON, over a Unix-domain socket. The
+    payload of a completed estimate is a {!Ids_engine.Runlog} schema-v3
+    record (stringified), so the daemon's responses, its crash-safe run log,
+    and the bench harness's in-process oracle all speak the same format —
+    bit-identity between a served estimate and its in-process replay is a
+    string comparison.
+
+    Requests:
+    {v
+    {"op":"estimate","id":"r1","protocol":"sym_dmam","strategy":"honest",
+     "trials":20,"fault":"none"}
+    {"op":"stats","id":"s1"}
+    {"op":"ping","id":"p1"}
+    v}
+
+    Responses carry the request's [id] and a [status]: ["ok"] (with
+    [attempts] and the [record]), ["stats"], ["pong"], or a rejection
+    (["overloaded"], ["draining"], ["bad_request"], ["failed"] — the last
+    two with an ["error"] message). *)
+
+type op =
+  | Estimate of {
+      protocol : string;  (** Catalog protocol, e.g. ["sym_dmam"]. *)
+      strategy : string;  (** Catalog strategy, e.g. ["honest"]. *)
+      trials : int;
+      fault : Ids_network.Fault.spec;  (** Injected network faults. *)
+      kill_attempt : int option;
+          (** Force the worker to die on exactly this attempt (tests and the
+              smoke bench; the seeded injector is {!Chaos}). *)
+    }
+  | Stats  (** Supervisor counters, answered by the daemon itself. *)
+  | Ping
+
+type t = { id : string; op : op }
+
+val make_estimate :
+  ?fault:Ids_network.Fault.spec ->
+  ?kill_attempt:int ->
+  id:string ->
+  protocol:string ->
+  strategy:string ->
+  trials:int ->
+  unit ->
+  t
+
+val to_json : ?attempt:int -> t -> string
+(** One line, no trailing newline. [attempt] is only set on the
+    daemon-to-worker hop (retries re-send the same request with a bumped
+    attempt number). *)
+
+val of_line : string -> (t * int, string) result
+(** Parse + validate one request line; returns the request and its attempt
+    number (1 when absent). Unknown ops, missing fields, bad fault specs,
+    and non-positive trial counts are errors. *)
+
+type reject =
+  | Overloaded  (** Queue at bound: load shed, retry later. *)
+  | Draining  (** Daemon is shutting down; queue rejected. *)
+  | Bad_request of string
+  | Failed of string  (** Retry/restart budgets exhausted. *)
+
+type response =
+  | Estimated of {
+      id : string;
+      attempts : int;  (** Attempts consumed, 1 = no retry was needed. *)
+      record : string;  (** The Runlog-v3 record line. *)
+    }
+  | Stats_reply of { id : string; stats : (string * int) list }
+  | Pong of { id : string }
+  | Rejected of { id : string; reject : reject }
+
+val response_id : response -> string
+
+val response_to_json : response -> string
+
+val response_of_line : string -> (response, string) result

@@ -1,0 +1,480 @@
+module Obs = Ids_obs.Obs
+module Runlog = Ids_engine.Runlog
+
+let c_accepted = Obs.Counter.make "serve.accepted"
+let c_shed = Obs.Counter.make "serve.shed"
+let c_retried = Obs.Counter.make "serve.retried"
+let c_timed_out = Obs.Counter.make "serve.timed_out"
+let c_crashes = Obs.Counter.make "serve.worker_crashes"
+let h_queue = Obs.Histo.make "serve.queue_depth"
+let h_latency = Obs.Histo.make "serve.latency_ms"
+
+type config = {
+  socket : string;
+  sup : Supervisor.config;
+  chaos : Chaos.spec;
+  log_path : string;
+  log_sync : bool;
+  verbose : bool;
+}
+
+let default =
+  { socket = "ids_serve.sock";
+    sup = Supervisor.default;
+    chaos = Chaos.none;
+    log_path = "ids_serve_runs.jsonl";
+    log_sync = true;
+    verbose = false
+  }
+
+(* --- environment knobs ----------------------------------------------------------- *)
+
+let getenv name = match Sys.getenv_opt name with None | Some "" -> None | some -> some
+
+let int_env name default =
+  match getenv name with
+  | None -> default
+  | Some v -> (
+    match int_of_string_opt (String.trim v) with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "%s: expected an integer, got %S" name v))
+
+(* Millisecond knobs on the wire, seconds internally. *)
+let ms_env name default =
+  match getenv name with
+  | None -> default
+  | Some v -> (
+    match float_of_string_opt (String.trim v) with
+    | Some ms -> ms /. 1000.
+    | None -> invalid_arg (Printf.sprintf "%s: expected milliseconds, got %S" name v))
+
+let bool_env name default =
+  match getenv name with None -> default | Some v -> not (String.trim v = "0")
+
+let of_env ?(base = default) () =
+  let sup =
+    { base.sup with
+      Supervisor.workers = int_env "IDS_SERVE_WORKERS" base.sup.Supervisor.workers;
+      queue_bound = int_env "IDS_SERVE_QUEUE" base.sup.Supervisor.queue_bound;
+      max_attempts = int_env "IDS_SERVE_RETRIES" base.sup.Supervisor.max_attempts;
+      restart_budget = int_env "IDS_SERVE_RESTARTS" base.sup.Supervisor.restart_budget;
+      deadline = ms_env "IDS_SERVE_DEADLINE_MS" base.sup.Supervisor.deadline;
+      backoff_base = ms_env "IDS_SERVE_BACKOFF_MS" base.sup.Supervisor.backoff_base
+    }
+  in
+  { socket = Option.value (getenv "IDS_SERVE_SOCKET") ~default:base.socket;
+    sup;
+    chaos = Option.value (Chaos.of_env ()) ~default:base.chaos;
+    log_path =
+      (match Sys.getenv_opt "IDS_SERVE_LOG" with None -> base.log_path | Some p -> p);
+    log_sync = bool_env "IDS_SERVE_SYNC" base.log_sync;
+    verbose = bool_env "IDS_SERVE_VERBOSE" base.verbose
+  }
+
+(* --- the event loop -------------------------------------------------------------- *)
+
+type client = { cfd : Unix.file_descr; cbuf : Buffer.t; mutable cclosed : bool }
+type pending = { preq : Request.t; pclient : client; pt0 : float }
+
+(* Monotonic seconds: deadlines must not jump with wall-clock adjustments. *)
+let now () = float_of_int (Obs.now_ns ()) /. 1e9
+
+(* Drain a non-blocking fd into [buf]; return the complete lines plus whether
+   the peer closed. *)
+let drain_lines fd buf =
+  let chunk = Bytes.create 8192 in
+  let rec fill () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> true
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      fill ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> false
+    | exception Unix.Unix_error _ -> true
+  in
+  let eof = fill () in
+  let data = Buffer.contents buf in
+  Buffer.clear buf;
+  let rec split o acc =
+    match String.index_from_opt data o '\n' with
+    | Some i -> split (i + 1) (String.sub data o (i - o) :: acc)
+    | None ->
+      Buffer.add_string buf (String.sub data o (String.length data - o));
+      List.rev acc
+  in
+  (split 0 [], eof)
+
+let run cfg =
+  match Supervisor.validate cfg.sup with
+  | Error e -> Error ("invalid supervisor config: " ^ e)
+  | Ok scfg -> (
+    let log_result =
+      if cfg.log_path = "" then Ok None
+      else
+        match Runlog.Framed.create ~sync:cfg.log_sync cfg.log_path with
+        | Ok w -> Ok (Some w)
+        | Error e -> Error (Printf.sprintf "run log %s: %s" cfg.log_path e)
+    in
+    match log_result with
+    | Error e -> Error e
+    | Ok log -> (
+      let logf fmt =
+        Printf.ksprintf
+          (fun s ->
+            if cfg.verbose then
+              Printf.eprintf "[ids_serve %.3f] %s\n%!" (float_of_int (Obs.now_ns ()) /. 1e9) s)
+          fmt
+      in
+      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let bound =
+        try
+          (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+          Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+          Unix.listen listen_fd 64;
+          Unix.set_nonblock listen_fd;
+          Ok ()
+        with Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "cannot listen on %s: %s" cfg.socket (Unix.error_message e))
+      in
+      match bound with
+      | Error e ->
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        Option.iter Runlog.Framed.close log;
+        Error e
+      | Ok () ->
+        let sup = Supervisor.create scfg in
+        let workers = Array.make scfg.Supervisor.workers None in
+        let pid2wid = Hashtbl.create 16 in
+        let clients = ref [] in
+        let pending : (string, pending) Hashtbl.t = Hashtbl.create 64 in
+        let resp_by_id : (string, Request.response) Hashtbl.t = Hashtbl.create 64 in
+        let events : Supervisor.event Queue.t = Queue.create () in
+        let post ev = Queue.add ev events in
+        let stopped = ref false in
+        let listening = ref true in
+        let drain_posted = ref false in
+
+        (* Signals only write one byte to the self-pipe; all real work happens
+           in the select loop. *)
+        let sp_r, sp_w = Unix.pipe () in
+        Unix.set_nonblock sp_r;
+        Unix.set_nonblock sp_w;
+        let notify b =
+          try ignore (Unix.write_substring sp_w b 0 1) with Unix.Unix_error _ -> ()
+        in
+        let prev_chld = Sys.signal Sys.sigchld (Sys.Signal_handle (fun _ -> notify "c")) in
+        let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> notify "t")) in
+        let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> notify "t")) in
+        let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+
+        let close_client c =
+          if not c.cclosed then begin
+            c.cclosed <- true;
+            (try Unix.close c.cfd with Unix.Unix_error _ -> ());
+            clients := List.filter (fun c' -> c' != c) !clients
+          end
+        in
+        let respond c resp =
+          if not c.cclosed then begin
+            let s = Request.response_to_json resp ^ "\n" in
+            let len = String.length s in
+            let rec put o tries =
+              if o < len then
+                match Unix.write_substring c.cfd s o (len - o) with
+                | n -> put (o + n) tries
+                | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  if tries = 0 then close_client c
+                  else begin
+                    (* Client not reading: wait briefly for buffer space, with a
+                       bound so one stuck client cannot wedge the daemon. *)
+                    ignore (Unix.select [] [ c.cfd ] [] 0.05);
+                    put o (tries - 1)
+                  end
+                | exception Unix.Unix_error _ -> close_client c
+            in
+            put 0 100
+          end
+        in
+
+        let extra_close () =
+          let acc = ref [ listen_fd; sp_r; sp_w ] in
+          List.iter (fun c -> acc := c.cfd :: !acc) !clients;
+          Array.iter
+            (function
+              | Some w -> acc := Pool.read_fd w :: Pool.write_fd w :: !acc
+              | None -> ())
+            workers;
+          !acc
+        in
+        let spawn_into wid =
+          let w = Pool.spawn ~chaos:cfg.chaos ~extra_close:(extra_close ()) ~wid () in
+          workers.(wid) <- Some w;
+          Hashtbl.replace pid2wid (Pool.pid w) wid;
+          logf "worker %d spawned (pid %d)" wid (Pool.pid w)
+        in
+
+        let finish req_id =
+          match Hashtbl.find_opt pending req_id with
+          | None -> ()
+          | Some p ->
+            Hashtbl.remove pending req_id;
+            let resp =
+              match Hashtbl.find_opt resp_by_id req_id with
+              | Some r ->
+                Hashtbl.remove resp_by_id req_id;
+                r
+              | None ->
+                Request.Rejected { id = req_id; reject = Request.Failed "response lost" }
+            in
+            (match (resp, log) with
+            | Request.Estimated { record; _ }, Some lw -> (
+              try Runlog.Framed.write lw record
+              with Unix.Unix_error (e, _, _) ->
+                Printf.eprintf "[ids_serve] run log write failed: %s\n%!"
+                  (Unix.error_message e))
+            | _ -> ());
+            Obs.Histo.observe h_latency (int_of_float ((now () -. p.pt0) *. 1000.));
+            respond p.pclient resp
+        in
+        let reject req_id rej =
+          match Hashtbl.find_opt pending req_id with
+          | None -> ()
+          | Some p ->
+            Hashtbl.remove pending req_id;
+            Hashtbl.remove resp_by_id req_id;
+            respond p.pclient (Request.Rejected { id = req_id; reject = rej })
+        in
+        let do_action = function
+          | Supervisor.Assign { worker; req; attempt; deadline = _ } -> (
+            match (workers.(worker), Hashtbl.find_opt pending req) with
+            | Some w, Some p ->
+              (* A send to a just-died worker fails silently; the Crashed event
+                 already en route schedules the retry. *)
+              ignore (Pool.send w ~attempt p.preq : bool)
+            | _ -> ())
+          | Supervisor.Spawn wid ->
+            spawn_into wid;
+            post (Supervisor.Spawned wid)
+          | Supervisor.Kill { worker; req } -> (
+            match workers.(worker) with
+            | Some w ->
+              logf "deadline: killing worker %d (request %s)" worker req;
+              Pool.kill w
+            | None -> ())
+          | Supervisor.Complete { req; attempts = _ } -> finish req
+          | Supervisor.Reject { req; reject = rej } -> reject req rej
+          | Supervisor.Stopped -> stopped := true
+        in
+        let bump before after =
+          let d get c =
+            let d = get after - get before in
+            if d > 0 then Obs.Counter.add c d
+          in
+          d (fun (x : Supervisor.counters) -> x.accepted) c_accepted;
+          d (fun x -> x.shed) c_shed;
+          d (fun x -> x.retried) c_retried;
+          d (fun x -> x.timed_out) c_timed_out;
+          d (fun x -> x.worker_crashes) c_crashes
+        in
+        let process_all () =
+          while not (Queue.is_empty events) do
+            let ev = Queue.take events in
+            let before = Supervisor.counters sup in
+            let actions = Supervisor.step sup ~now:(now ()) ev in
+            let after = Supervisor.counters sup in
+            bump before after;
+            if after.accepted > before.accepted then
+              Obs.Histo.observe h_queue (Supervisor.queue_depth sup);
+            List.iter do_action actions
+          done
+        in
+
+        let handle_request_line c line =
+          match Request.of_line line with
+          | Error e -> respond c (Request.Rejected { id = ""; reject = Request.Bad_request e })
+          | Ok (req, _) -> (
+            match req.Request.op with
+            | Request.Ping -> respond c (Request.Pong { id = req.Request.id })
+            | Request.Stats ->
+              respond c
+                (Request.Stats_reply { id = req.Request.id; stats = Supervisor.stats sup })
+            | Request.Estimate { protocol; strategy; _ } ->
+              let id = req.Request.id in
+              if Hashtbl.mem pending id then
+                respond c
+                  (Request.Rejected
+                     { id; reject = Request.Bad_request "duplicate in-flight id" })
+              else (
+                (* Catch unknown workloads here rather than burning worker
+                   attempts on them. *)
+                match Catalog.find ~protocol ~strategy with
+                | Error e -> respond c (Request.Rejected { id; reject = Request.Bad_request e })
+                | Ok _ ->
+                  Hashtbl.replace pending id { preq = req; pclient = c; pt0 = now () };
+                  post (Supervisor.Submit id)))
+        in
+        let read_client c =
+          let lines, eof = drain_lines c.cfd c.cbuf in
+          List.iter (handle_request_line c) lines;
+          if eof then close_client c
+        in
+        let accept_clients () =
+          let rec go () =
+            match Unix.accept ~cloexec:false listen_fd with
+            | cfd, _ ->
+              Unix.set_nonblock cfd;
+              clients := { cfd; cbuf = Buffer.create 256; cclosed = false } :: !clients;
+              go ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          if !listening then go ()
+        in
+
+        let handle_worker_line wid line =
+          match Request.response_of_line line with
+          | Ok resp ->
+            Hashtbl.replace resp_by_id (Request.response_id resp) resp;
+            post (Supervisor.Done wid)
+          | Error e -> logf "worker %d: unparsable response (%s)" wid e
+        in
+        let worker_dead wid =
+          match workers.(wid) with
+          | None -> ()
+          | Some w ->
+            (* Salvage any response that outran the death (deadline-kill race):
+               its Done must precede the Crashed. *)
+            (match Pool.read w with
+            | `Lines lines -> List.iter (handle_worker_line wid) lines
+            | `Eof -> ());
+            Hashtbl.remove pid2wid (Pool.pid w);
+            Pool.shutdown w;
+            workers.(wid) <- None;
+            logf "worker %d died (pid %d)" wid (Pool.pid w);
+            post (Supervisor.Crashed wid)
+        in
+        let read_worker w =
+          match Pool.read w with
+          | `Lines lines -> List.iter (handle_worker_line (Pool.wid w)) lines
+          | `Eof -> worker_dead (Pool.wid w)
+        in
+        let rec reap () =
+          match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+          | 0, _ -> ()
+          | pid, _ ->
+            (match Hashtbl.find_opt pid2wid pid with
+            | Some wid -> worker_dead wid
+            | None -> () (* already handled via pipe EOF *));
+            reap ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+        in
+        let request_drain () =
+          if not !drain_posted then begin
+            drain_posted := true;
+            logf "drain requested";
+            if !listening then begin
+              listening := false;
+              (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+              try Unix.unlink cfg.socket with Unix.Unix_error _ -> ()
+            end;
+            post Supervisor.Drain
+          end
+        in
+        let read_selfpipe () =
+          let chunk = Bytes.create 64 in
+          let rec go () =
+            match Unix.read sp_r chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              for i = 0 to n - 1 do
+                match Bytes.get chunk i with
+                | 'c' -> reap ()
+                | 't' -> request_drain ()
+                | _ -> ()
+              done;
+              go ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          go ()
+        in
+
+        (* The initial pool: Supervisor.create starts every slot Idle. *)
+        for wid = 0 to scfg.Supervisor.workers - 1 do
+          spawn_into wid
+        done;
+        logf "listening on %s (%d workers, chaos %s)" cfg.socket scfg.Supervisor.workers
+          (Chaos.to_string cfg.chaos);
+
+        let worker_fd_pairs () =
+          Array.fold_left
+            (fun acc -> function Some w -> (Pool.read_fd w, w) :: acc | None -> acc)
+            [] workers
+        in
+        while not !stopped do
+          let timeout =
+            match Supervisor.next_wakeup sup ~now:(now ()) with
+            | Some s -> Float.min 0.25 (Float.max 0.001 s)
+            | None -> 0.25
+          in
+          let wpairs = worker_fd_pairs () in
+          let rfds =
+            (if !listening then [ listen_fd ] else [])
+            @ (sp_r :: List.map fst wpairs)
+            @ List.map (fun c -> c.cfd) !clients
+          in
+          (match Unix.select rfds [] [] timeout with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | ready, _, _ ->
+            List.iter
+              (fun fd ->
+                if fd = sp_r then read_selfpipe ()
+                else if !listening && fd = listen_fd then accept_clients ()
+                else
+                  (* Re-resolve: an earlier handler may have closed this fd. *)
+                  match
+                    List.find_opt
+                      (fun (rfd, w) ->
+                        rfd = fd
+                        &&
+                        match workers.(Pool.wid w) with
+                        | Some cur -> cur == w
+                        | None -> false)
+                      wpairs
+                  with
+                  | Some (_, w) -> read_worker w
+                  | None -> (
+                    match List.find_opt (fun c -> c.cfd = fd && not c.cclosed) !clients with
+                    | Some c -> read_client c
+                    | None -> ()))
+              ready);
+          post Supervisor.Tick;
+          process_all ()
+        done;
+
+        (* Drained: close worker pipes (EOF = clean exit), reap everything,
+           release the socket and the log. *)
+        Array.iter (function Some w -> Pool.shutdown w | None -> ()) workers;
+        let rec reap_all () =
+          match Unix.waitpid [] (-1) with
+          | _ -> reap_all ()
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap_all ()
+        in
+        reap_all ();
+        List.iter close_client !clients;
+        if !listening then begin
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          try Unix.unlink cfg.socket with Unix.Unix_error _ -> ()
+        end;
+        (try Unix.close sp_r with Unix.Unix_error _ -> ());
+        (try Unix.close sp_w with Unix.Unix_error _ -> ());
+        Option.iter Runlog.Framed.close log;
+        Sys.set_signal Sys.sigchld prev_chld;
+        Sys.set_signal Sys.sigterm prev_term;
+        Sys.set_signal Sys.sigint prev_int;
+        Sys.set_signal Sys.sigpipe prev_pipe;
+        logf "drained cleanly";
+        Ok ()))

@@ -1,0 +1,49 @@
+(** The verification daemon: accept loop, event loop, graceful drain.
+
+    [run] binds a Unix-domain socket, forks the worker pool, and serves
+    {!Request} lines until SIGTERM/SIGINT: requests are queued through the
+    {!Supervisor} state machine, executed by forked {!Pool} workers
+    (supervised — crash detection via SIGCHLD/pipe EOF, deadline kills,
+    seeded {!Chaos} self-kills, retry with exponential backoff, bounded
+    restart budget, bounded-queue load shedding), and every completed
+    estimate is appended to a crash-safe {!Ids_engine.Runlog.Framed} log
+    that [ids_inspect --follow] can tail live.
+
+    Instrumentation flows through the {!Ids_obs.Obs} layer (gated by
+    [IDS_TRACE] like everything else): counters [serve.accepted],
+    [serve.shed], [serve.retried], [serve.timed_out],
+    [serve.worker_crashes]; histograms [serve.queue_depth] (observed per
+    accepted request) and [serve.latency_ms] (per completed request).
+
+    Drain semantics on SIGTERM/SIGINT: the listening socket closes
+    immediately, queued first attempts are rejected [Draining], in-flight
+    requests (and their pending retries) finish and are answered, workers
+    are shut down via pipe EOF and reaped, the log is closed, and [run]
+    returns [Ok ()]. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path. *)
+  sup : Supervisor.config;
+  chaos : Chaos.spec;  (** Seeded worker-kill injection (chaos runs). *)
+  log_path : string;  (** Framed crash-safe run log; [""] disables. *)
+  log_sync : bool;  (** fsync each record (the crash-safety guarantee). *)
+  verbose : bool;
+}
+
+val default : config
+(** Socket [ids_serve.sock], log [ids_serve_runs.jsonl], {!Supervisor.default},
+    no chaos, synced log, quiet. *)
+
+val of_env : ?base:config -> unit -> config
+(** [base] (default {!default}) overridden by the [IDS_SERVE_*] environment
+    knobs: [IDS_SERVE_SOCKET], [IDS_SERVE_WORKERS], [IDS_SERVE_QUEUE],
+    [IDS_SERVE_RETRIES] (max attempts), [IDS_SERVE_RESTARTS],
+    [IDS_SERVE_DEADLINE_MS], [IDS_SERVE_BACKOFF_MS] (base delay),
+    [IDS_SERVE_CHAOS] ({!Chaos.of_string} format), [IDS_SERVE_LOG] (empty
+    disables), [IDS_SERVE_SYNC] ([0] = no fsync), [IDS_SERVE_VERBOSE].
+    @raise Invalid_argument on an unparsable knob. *)
+
+val run : config -> (unit, string) result
+(** Serve until drained. [Error] covers startup failures (bad config,
+    unbindable socket, unwritable log) and abnormal loop exits; a clean
+    SIGTERM drain is [Ok ()]. *)

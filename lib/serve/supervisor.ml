@@ -1,0 +1,292 @@
+type config = {
+  workers : int;
+  queue_bound : int;
+  max_attempts : int;
+  restart_budget : int;
+  backoff_base : float;
+  backoff_mult : float;
+  backoff_cap : float;
+  deadline : float;
+}
+
+let default =
+  { workers = 4;
+    queue_bound = 64;
+    max_attempts = 5;
+    restart_budget = 32;
+    backoff_base = 0.05;
+    backoff_mult = 2.0;
+    backoff_cap = 1.0;
+    deadline = 30.0
+  }
+
+let validate c =
+  let err fmt = Printf.ksprintf Result.error fmt in
+  if c.workers < 1 then err "workers must be >= 1 (got %d)" c.workers
+  else if c.queue_bound < 0 then err "queue_bound must be >= 0 (got %d)" c.queue_bound
+  else if c.max_attempts < 1 then err "max_attempts must be >= 1 (got %d)" c.max_attempts
+  else if c.restart_budget < 0 then err "restart_budget must be >= 0 (got %d)" c.restart_budget
+  else if not (c.backoff_base > 0.) then err "backoff_base must be > 0 (got %g)" c.backoff_base
+  else if not (c.backoff_mult >= 1.) then err "backoff_mult must be >= 1 (got %g)" c.backoff_mult
+  else if not (c.backoff_cap >= c.backoff_base) then
+    err "backoff_cap must be >= backoff_base (got %g < %g)" c.backoff_cap c.backoff_base
+  else if not (c.deadline >= 0.) then err "deadline must be >= 0 (got %g)" c.deadline
+  else Ok c
+
+let backoff_delay c ~failures =
+  if failures < 1 then invalid_arg "Supervisor.backoff_delay: failures must be >= 1";
+  Float.min c.backoff_cap (c.backoff_base *. (c.backoff_mult ** float_of_int (failures - 1)))
+
+type event = Submit of string | Done of int | Crashed of int | Spawned of int | Tick | Drain
+
+type action =
+  | Assign of { worker : int; req : string; attempt : int; deadline : float option }
+  | Spawn of int
+  | Kill of { worker : int; req : string }
+  | Complete of { req : string; attempts : int }
+  | Reject of { req : string; reject : Request.reject }
+  | Stopped
+
+type counters = {
+  accepted : int;
+  shed : int;
+  retried : int;
+  timed_out : int;
+  worker_crashes : int;
+  completed : int;
+  rejected : int;
+  restarts : int;
+}
+
+(* [Doomed] is the window between a deadline [Kill] whose response raced the
+   signal (the worker answered, so the request completed) and the SIGKILL's
+   [Crashed]: the death is expected and carries no request. *)
+type wstate =
+  | Idle
+  | Busy of { req : string; attempt : int; deadline : float option }
+  | Killing of { req : string; attempt : int }
+  | Doomed
+  | Respawning
+  | Dead
+
+type queued = { q_req : string; q_attempt : int; eligible : float }
+
+type t = {
+  cfg : config;
+  slots : wstate array;
+  mutable queue : queued list;  (* FIFO; dispatch takes the first eligible *)
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable c : counters;
+}
+
+let create cfg =
+  { cfg;
+    slots = Array.make cfg.workers Idle;
+    queue = [];
+    draining = false;
+    stopped = false;
+    c =
+      { accepted = 0; shed = 0; retried = 0; timed_out = 0; worker_crashes = 0; completed = 0;
+        rejected = 0; restarts = 0
+      }
+  }
+
+let counters t = t.c
+let queue_depth t = List.length t.queue
+
+let in_flight t =
+  Array.fold_left
+    (fun acc -> function Busy _ | Killing _ -> acc + 1 | Idle | Doomed | Respawning | Dead -> acc)
+    0 t.slots
+
+let alive t = Array.fold_left (fun acc s -> if s = Dead then acc else acc + 1) 0 t.slots
+let is_draining t = t.draining
+let is_stopped t = t.stopped
+
+(* --- the transition function ---------------------------------------------------- *)
+
+let dispatch t ~now acc =
+  (* Lowest idle slot gets the first eligible queued request, repeatedly. *)
+  let acc = ref acc in
+  let continue = ref true in
+  while !continue do
+    let idle = ref (-1) in
+    Array.iteri (fun i s -> if !idle < 0 && s = Idle then idle := i) t.slots;
+    if !idle < 0 then continue := false
+    else
+      let rec take seen = function
+        | [] -> None
+        | q :: rest when q.eligible <= now -> Some (q, List.rev_append seen rest)
+        | q :: rest -> take (q :: seen) rest
+      in
+      match take [] t.queue with
+      | None -> continue := false
+      | Some (q, rest) ->
+        t.queue <- rest;
+        let deadline = if t.cfg.deadline > 0. then Some (now +. t.cfg.deadline) else None in
+        t.slots.(!idle) <- Busy { req = q.q_req; attempt = q.q_attempt; deadline };
+        acc := Assign { worker = !idle; req = q.q_req; attempt = q.q_attempt; deadline } :: !acc
+  done;
+  !acc
+
+let reject_all_queued t reject acc =
+  let acc =
+    List.fold_left (fun acc q -> Reject { req = q.q_req; reject } :: acc) acc t.queue
+  in
+  t.c <- { t.c with rejected = t.c.rejected + List.length t.queue };
+  t.queue <- [];
+  acc
+
+(* A failed attempt (crash or deadline kill): schedule the retry or give up. *)
+let retry_or_fail t ~now ~req ~attempt acc =
+  if attempt >= t.cfg.max_attempts then begin
+    t.c <- { t.c with rejected = t.c.rejected + 1 };
+    Reject
+      { req;
+        reject = Request.Failed (Printf.sprintf "gave up after %d attempts" attempt)
+      }
+    :: acc
+  end
+  else begin
+    t.c <- { t.c with retried = t.c.retried + 1 };
+    t.queue <-
+      t.queue
+      @ [ { q_req = req;
+            q_attempt = attempt + 1;
+            eligible = now +. backoff_delay t.cfg ~failures:attempt
+          }
+        ];
+    acc
+  end
+
+(* Crash-respawns spend the restart budget; a slot past it stays dead. *)
+let respawn_budgeted t wid acc =
+  if t.c.restarts < t.cfg.restart_budget then begin
+    t.c <- { t.c with restarts = t.c.restarts + 1 };
+    t.slots.(wid) <- Respawning;
+    Spawn wid :: acc
+  end
+  else begin
+    t.slots.(wid) <- Dead;
+    if alive t = 0 then reject_all_queued t (Request.Failed "worker pool exhausted") acc else acc
+  end
+
+(* Deadline kills are policy, not failure: the replacement is free. *)
+let respawn_free t wid acc =
+  t.slots.(wid) <- Respawning;
+  Spawn wid :: acc
+
+let step t ~now ev =
+  if t.stopped then []
+  else begin
+    let acc = [] in
+    let acc =
+      match ev with
+      | Submit req ->
+        if t.draining then begin
+          t.c <- { t.c with rejected = t.c.rejected + 1 };
+          Reject { req; reject = Request.Draining } :: acc
+        end
+        else if alive t = 0 then begin
+          t.c <- { t.c with rejected = t.c.rejected + 1 };
+          Reject { req; reject = Request.Failed "worker pool exhausted" } :: acc
+        end
+        else if queue_depth t >= t.cfg.queue_bound then begin
+          t.c <- { t.c with shed = t.c.shed + 1 };
+          Reject { req; reject = Request.Overloaded } :: acc
+        end
+        else begin
+          t.c <- { t.c with accepted = t.c.accepted + 1 };
+          t.queue <- t.queue @ [ { q_req = req; q_attempt = 1; eligible = now } ];
+          acc
+        end
+      | Done wid -> (
+        match t.slots.(wid) with
+        | Busy { req; attempt; _ } ->
+          t.c <- { t.c with completed = t.c.completed + 1 };
+          t.slots.(wid) <- Idle;
+          Complete { req; attempts = attempt } :: acc
+        | Killing { req; attempt } ->
+          (* The response outran the SIGKILL: keep the result, and expect the
+             death as a request-free event. *)
+          t.c <- { t.c with completed = t.c.completed + 1 };
+          t.slots.(wid) <- Doomed;
+          Complete { req; attempts = attempt } :: acc
+        | Idle | Doomed | Respawning | Dead -> acc)
+      | Crashed wid -> (
+        match t.slots.(wid) with
+        | Busy { req; attempt; _ } ->
+          t.c <- { t.c with worker_crashes = t.c.worker_crashes + 1 };
+          let acc = retry_or_fail t ~now ~req ~attempt acc in
+          respawn_budgeted t wid acc
+        | Killing { req; attempt } ->
+          let acc = retry_or_fail t ~now ~req ~attempt acc in
+          respawn_free t wid acc
+        | Doomed -> respawn_free t wid acc
+        | Idle ->
+          t.c <- { t.c with worker_crashes = t.c.worker_crashes + 1 };
+          respawn_budgeted t wid acc
+        | Respawning | Dead -> acc)
+      | Spawned wid -> (
+        match t.slots.(wid) with
+        | Respawning ->
+          t.slots.(wid) <- Idle;
+          acc
+        | _ -> acc)
+      | Tick ->
+        let acc = ref acc in
+        Array.iteri
+          (fun wid s ->
+            match s with
+            | Busy { req; attempt; deadline = Some d } when d <= now ->
+              t.c <- { t.c with timed_out = t.c.timed_out + 1 };
+              t.slots.(wid) <- Killing { req; attempt };
+              acc := Kill { worker = wid; req } :: !acc
+            | _ -> ())
+          t.slots;
+        !acc
+      | Drain ->
+        t.draining <- true;
+        (* Pending first attempts are refused; pending retries are in-flight
+           work that crashed mid-drain's predecessor — they finish. *)
+        let refuse, keep = List.partition (fun q -> q.q_attempt = 1) t.queue in
+        t.c <- { t.c with rejected = t.c.rejected + List.length refuse };
+        t.queue <- keep;
+        List.fold_left
+          (fun acc q -> Reject { req = q.q_req; reject = Request.Draining } :: acc)
+          acc refuse
+    in
+    let acc = dispatch t ~now acc in
+    let acc =
+      if t.draining && (not t.stopped) && in_flight t = 0 && t.queue = [] then begin
+        t.stopped <- true;
+        Stopped :: acc
+      end
+      else acc
+    in
+    List.rev acc
+  end
+
+let next_wakeup t ~now =
+  if t.stopped then None
+  else
+    let best = ref infinity in
+    let consider ts = if ts < !best then best := ts in
+    Array.iter (function Busy { deadline = Some d; _ } -> consider d | _ -> ()) t.slots;
+    List.iter (fun q -> if q.eligible > now then consider q.eligible) t.queue;
+    if !best = infinity then None else Some (Float.max 0. (!best -. now))
+
+let stats t =
+  [ ("accepted", t.c.accepted);
+    ("shed", t.c.shed);
+    ("retried", t.c.retried);
+    ("timed_out", t.c.timed_out);
+    ("worker_crashes", t.c.worker_crashes);
+    ("completed", t.c.completed);
+    ("rejected", t.c.rejected);
+    ("restarts", t.c.restarts);
+    ("queue_depth", queue_depth t);
+    ("in_flight", in_flight t);
+    ("alive", alive t)
+  ]

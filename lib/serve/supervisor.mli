@@ -1,0 +1,113 @@
+(** Fault-tolerant worker-pool supervision as a pure state machine.
+
+    All policy — dispatch order, per-request retry with exponential backoff,
+    the bounded worker-restart budget, per-attempt deadlines, bounded-queue
+    load shedding, and graceful drain — lives here, decoupled from
+    processes, sockets, and clocks. {!step} consumes one event with an
+    explicit [now] and returns the actions the driver must perform; the
+    daemon ({!Server}) drives it with real forks and [Unix.gettimeofday],
+    the unit tests drive it with scripted events and a fake clock, and both
+    see exactly the same transitions.
+
+    {2 Policy}
+
+    - {b dispatch}: FIFO among eligible queued requests, to the
+      lowest-numbered idle worker.
+    - {b shed}: a submit beyond [queue_bound] queued requests is rejected
+      [Overloaded] immediately — bounded latency, not unbounded queueing.
+    - {b retry}: a crashed or deadline-killed attempt is re-queued with the
+      next attempt number after an exponential backoff
+      ([backoff_base * backoff_mult^(failures-1)], capped at
+      [backoff_cap]); after [max_attempts] failures the request is rejected
+      [Failed].
+    - {b deadline}: an attempt running past [deadline] seconds is killed
+      ([Kill] on the next {!Tick}) and retried; deadline kills do not burn
+      the restart budget (they are bounded by [max_attempts] per request).
+    - {b restart budget}: unexpected worker crashes respawn the worker
+      until [restart_budget] respawns have been spent; after that the
+      worker slot stays dead, and when no live workers remain every queued
+      request is rejected [Failed].
+    - {b drain}: first-attempt queued requests are rejected [Draining] and
+      new submits refused, but in-flight work (including pending retries of
+      crashed in-flight attempts) runs to completion; {!Stopped} is emitted
+      once nothing remains. *)
+
+type config = {
+  workers : int;  (** Worker-process shard count (>= 1). *)
+  queue_bound : int;  (** Max queued (not yet running) requests (>= 0). *)
+  max_attempts : int;  (** Attempts per request before [Failed] (>= 1). *)
+  restart_budget : int;  (** Total crash-respawns before slots die (>= 0). *)
+  backoff_base : float;  (** Seconds before the first retry (> 0). *)
+  backoff_mult : float;  (** Backoff growth factor (>= 1). *)
+  backoff_cap : float;  (** Ceiling on one backoff delay, seconds. *)
+  deadline : float;  (** Per-attempt wall-clock budget, seconds; 0 = none. *)
+}
+
+val default : config
+(** 4 workers, queue bound 64, 5 attempts, restart budget 32, backoff
+    0.05s x2 capped at 1s, 30s deadline. *)
+
+val validate : config -> (config, string) result
+
+val backoff_delay : config -> failures:int -> float
+(** Delay inserted after the [failures]-th consecutive failure of a request
+    ([failures >= 1]). *)
+
+type event =
+  | Submit of string  (** A request id enters the system. *)
+  | Done of int  (** Worker (by slot) delivered a response. *)
+  | Crashed of int  (** Worker death observed (SIGCHLD/EOF), any cause. *)
+  | Spawned of int  (** Replacement worker for the slot is running. *)
+  | Tick  (** Time passed: check deadlines and backoff eligibility. *)
+  | Drain  (** SIGTERM: stop accepting, finish in-flight, then stop. *)
+
+type action =
+  | Assign of { worker : int; req : string; attempt : int; deadline : float option }
+      (** Send the request to the worker; [deadline] is absolute time. *)
+  | Spawn of int  (** Fork a replacement into this slot, then feed {!Spawned}. *)
+  | Kill of { worker : int; req : string }
+      (** SIGKILL the worker (deadline overrun); a {!Crashed} must follow. *)
+  | Complete of { req : string; attempts : int }  (** Deliver the response. *)
+  | Reject of { req : string; reject : Request.reject }
+  | Stopped  (** Drain finished: all workers idle, nothing queued. *)
+
+type counters = {
+  accepted : int;  (** Submits admitted to the queue. *)
+  shed : int;  (** Submits rejected [Overloaded]. *)
+  retried : int;  (** Attempts re-queued after a crash or kill. *)
+  timed_out : int;  (** Deadline kills issued. *)
+  worker_crashes : int;  (** Unexpected worker deaths. *)
+  completed : int;
+  rejected : int;  (** [Draining] + [Failed] rejections. *)
+  restarts : int;  (** Crash-respawns spent (of [restart_budget]). *)
+}
+
+type t
+
+val create : config -> t
+(** All workers start [Idle] (the driver forks the initial pool itself). *)
+
+val step : t -> now:float -> event -> action list
+(** Feed one event; perform the returned actions in order. [now] must be
+    monotone across calls. Pure in (state, now, event): identical event
+    sequences produce identical action sequences. *)
+
+val counters : t -> counters
+val queue_depth : t -> int
+
+val in_flight : t -> int
+(** Attempts currently running on a worker. *)
+
+val alive : t -> int
+(** Worker slots not permanently dead. *)
+
+val is_draining : t -> bool
+val is_stopped : t -> bool
+
+val next_wakeup : t -> now:float -> float option
+(** Seconds until the nearest deadline expiry or backoff eligibility —
+    the driver's select timeout. [None] when nothing is pending. *)
+
+val stats : t -> (string * int) list
+(** The counters plus live gauges, in a fixed order — the [stats] wire
+    response and the Obs counter names (sans the [serve.] prefix). *)

@@ -5,4 +5,5 @@ let () =
     @ Test_extensions.suite
     @ Test_obs.suite
     @ Test_strategy.suite
-    @ Test_features.suite @ Test_properties.suite @ Test_integration.suite @ Test_setup.suite)
+    @ Test_features.suite @ Test_properties.suite @ Test_integration.suite @ Test_setup.suite
+    @ Test_serve.suite)

@@ -1,0 +1,73 @@
+(* Real-fork worker integration test, isolated in its own executable.
+
+   OCaml 5 forbids Unix.fork once any other domain has been spawned, and the
+   shared test binary runs multi-domain engine suites first.  This binary
+   never spawns a domain (Catalog.execute_request pins ~domains:1), so the
+   Pool.spawn forks below are legal.  It pins the acceptance criterion that a
+   request completed via retry after a worker crash is bit-identical to the
+   in-process engine. *)
+
+module Request = Ids_serve.Request
+module Catalog = Ids_serve.Catalog
+module Pool = Ids_serve.Pool
+module Fault = Ids_network.Fault
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+let wait_readable fd =
+  match Unix.select [ fd ] [] [] 30. with
+  | [], _, _ -> Alcotest.fail "worker response timed out"
+  | _ -> ()
+
+let read_response w =
+  let rec go () =
+    wait_readable (Pool.read_fd w);
+    match Pool.read w with
+    | `Lines (line :: _) -> `Line line
+    | `Lines [] -> go ()
+    | `Eof -> `Eof
+  in
+  go ()
+
+let test_forked_worker_retry_bit_identical () =
+  let protocol = "sym_dmam" and strategy = "honest" and trials = 5 in
+  let req =
+    Request.make_estimate ~kill_attempt:1 ~id:"it1" ~protocol ~strategy ~trials ()
+  in
+  (* Attempt 1: the worker self-kills before computing. *)
+  let w1 = Pool.spawn ~wid:0 () in
+  checkb "attempt 1 sent" true (Pool.send w1 ~attempt:1 req);
+  (match read_response w1 with
+  | `Eof -> ()
+  | `Line l -> Alcotest.failf "worker survived its forced kill: %s" l);
+  ignore (Unix.waitpid [] (Pool.pid w1));
+  Pool.shutdown w1;
+  (* Attempt 2 on a fresh worker: kill_attempt=1 no longer fires. *)
+  let w2 = Pool.spawn ~wid:0 () in
+  checkb "attempt 2 sent" true (Pool.send w2 ~attempt:2 req);
+  let line =
+    match read_response w2 with
+    | `Line l -> l
+    | `Eof -> Alcotest.fail "worker died on the retry"
+  in
+  Pool.shutdown w2;
+  ignore (Unix.waitpid [] (Pool.pid w2));
+  (match Request.response_of_line line with
+  | Ok (Request.Estimated { id = "it1"; attempts = 2; record }) ->
+    let want =
+      match Catalog.execute_request ~protocol ~strategy ~trials ~fault:Fault.none with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "in-process oracle failed: %s" e
+    in
+    check Alcotest.string "retried result bit-identical to the in-process engine" want record
+  | Ok _ -> Alcotest.fail "unexpected response shape"
+  | Error e -> Alcotest.failf "bad response line: %s" e)
+
+let () =
+  Alcotest.run "ids-serve-fork"
+    [ ( "serve-fork",
+        [ Alcotest.test_case "forked worker: retried result bit-identical" `Quick
+            test_forked_worker_retry_bit_identical
+        ] )
+    ]
