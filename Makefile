@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make test` is the tier-1 gate.
 
-.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup bench-serve faults frontier serve-smoke clean
+.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup bench-serve bench-scale faults frontier serve-smoke clean
 
 all:
 	dune build
@@ -23,7 +23,8 @@ check:
 	dune exec bench/frontier/main.exe -- --smoke -o /dev/null && \
 	dune exec bin/ids_inspect.exe -- --self-test && \
 	dune exec bench/obs/main.exe -- --smoke && \
-	dune exec bench/serve/main.exe -- --smoke
+	dune exec bench/serve/main.exe -- --smoke && \
+	dune exec bench/scale/main.exe -- --smoke -o /dev/null
 
 # Same suite with Monte Carlo trial budgets cut down via IDS_TRIALS_SCALE.
 test-fast:
@@ -69,6 +70,14 @@ frontier:
 # drain, then the torn-tail recovery drill on the framed run log.
 serve-smoke:
 	dune exec bench/serve/main.exe -- --smoke
+
+# E19: the million-node scale run — degree-4 sparse expander through the
+# spanning-tree PLS and the streamed Section 4 eps-API hash, end to end,
+# with nodes/sec and peak RSS. Regenerates BENCH_scale.json. --smoke
+# (n = 10^4, also wired into @runtest-fast and `make check`) adds the
+# peak-RSS bound and the dense/sparse bit-identity assertion.
+bench-scale:
+	dune exec bench/scale/main.exe
 
 # E18 full chaos bench: 60 requests under a 10% seeded worker-kill schedule
 # plus forced kills, the shed-at-the-bound burst phase, and the kill -9

@@ -42,6 +42,42 @@ let random_symmetric rng n =
     g
   end
 
+let expander ?repr rng ~n ~degree =
+  if n < 3 then invalid_arg "Family.expander: need n >= 3";
+  if degree < 2 || degree mod 2 <> 0 then invalid_arg "Family.expander: degree must be even and >= 2";
+  let max_off = (n - 1) / 2 in
+  let chords = (degree - 2) / 2 in
+  if chords > max_off - 1 then invalid_arg "Family.expander: degree too large for n";
+  let repr = match repr with Some r -> r | None -> Graph.auto_repr n in
+  let g = Graph.make ~repr n in
+  (* Random circulant: the n-cycle (connectivity for free) plus
+     (degree - 2) / 2 distinct random chord offsets in [2, (n-1)/2] — each
+     offset contributes exactly 2 to every vertex's degree, and excluding
+     n/2 keeps the contribution exact for even n. Random circulants are
+     good enough spectral expanders for the scale benchmarks, and the
+     generator is O(n * degree) with O(degree) rng draws, which is what
+     makes the family usable at n = 10⁶ (the pairing-model
+     [random_regular] is not). *)
+  for i = 0 to n - 1 do
+    Graph.add_edge g i ((i + 1) mod n)
+  done;
+  let offsets = Hashtbl.create 8 in
+  let rec draw remaining =
+    if remaining > 0 then begin
+      let d = 2 + Rng.int rng (max_off - 1) in
+      if Hashtbl.mem offsets d then draw remaining
+      else begin
+        Hashtbl.add offsets d ();
+        for i = 0 to n - 1 do
+          Graph.add_edge g i ((i + d) mod n)
+        done;
+        draw (remaining - 1)
+      end
+    end
+  in
+  draw chords;
+  g
+
 let asymmetric_family rng ~n ~size =
   let max_attempts = 200 * size in
   let rec collect acc count attempts =

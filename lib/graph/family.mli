@@ -16,6 +16,16 @@ val random_symmetric : Ids_bignum.Rng.t -> int -> Graph.t
     rejection sampling at small [n], a planted mirror construction at
     larger [n]. *)
 
+val expander : ?repr:Graph.repr -> Ids_bignum.Rng.t -> n:int -> degree:int -> Graph.t
+(** A connected [degree]-regular random circulant on [n] vertices: the
+    n-cycle plus [(degree - 2) / 2] distinct random chord offsets. Random
+    circulants are good spectral expanders in practice, and — unlike the
+    pairing-model {!Graph.random_regular} — the generator is
+    O(n · degree) time with O(degree) rng draws, so it scales to the
+    million-node benchmarks. Backend defaults to {!Graph.auto_repr}.
+    @raise Invalid_argument unless [n >= 3], [degree] is even, [>= 2] and
+    small enough that the chord offsets exist. *)
+
 val asymmetric_family : Ids_bignum.Rng.t -> n:int -> size:int -> Graph.t list
 (** [asymmetric_family rng ~n ~size] is a list of at most [size] connected,
     asymmetric, pairwise non-isomorphic graphs on [n] vertices — the family

@@ -1,19 +1,35 @@
-type t = { n : int; adj : Bitset.t array; uid : int; mutable version : int }
+type repr = Dense | Sparse
+
+type t = { n : int; repr : repr; adj : Bitset.t array; uid : int; mutable version : int }
 
 (* Process-unique ids let derived-value caches key a graph by (uid, version)
    in O(1) instead of hashing the adjacency matrix. Mutation bumps the
    version, so a cache entry can never serve a stale derived value. *)
 let uid_counter = Atomic.make 0
 
-let make n =
+(* Above this size a dense adjacency matrix costs more than ~64 bits of row
+   per vertex even when empty; generators of sparse families switch to the
+   sorted-array rows by default. The cutover is a pure representation
+   choice: it never touches a generator's rng draws, so graph contents (and
+   every protocol estimate derived from them) are unchanged. *)
+let dense_threshold = 1024
+
+let auto_repr n = if n <= dense_threshold then Dense else Sparse
+
+let row_for repr n = match repr with Dense -> Bitset.create n | Sparse -> Bitset.create_sparse n
+
+let make ?(repr = Dense) n =
   if n < 0 then invalid_arg "Graph.make: negative size";
   { n;
-    adj = Array.init n (fun _ -> Bitset.create n);
+    repr;
+    adj = Array.init n (fun _ -> row_for repr n);
     uid = Atomic.fetch_and_add uid_counter 1;
     version = 0
   }
 
 let n g = g.n
+
+let repr g = g.repr
 
 let uid g = g.uid
 
@@ -45,6 +61,8 @@ let degree g v =
   check_vertex g v;
   Bitset.cardinal g.adj.(v)
 
+let max_degree g = Array.fold_left (fun acc s -> max acc (Bitset.cardinal s)) 0 g.adj
+
 let neighbors g v =
   check_vertex g v;
   g.adj.(v)
@@ -54,6 +72,11 @@ let closed_neighborhood g v =
   let s = Bitset.copy g.adj.(v) in
   Bitset.add s v;
   s
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Bitset.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
 
 let edges g =
   let acc = ref [] in
@@ -65,29 +88,51 @@ let edges g =
 
 let edge_count g = Array.fold_left (fun acc s -> acc + Bitset.cardinal s) 0 g.adj / 2
 
-let of_edges n es =
-  let g = make n in
+let of_edges ?repr n es =
+  let g = make ?repr n in
   List.iter (fun (u, v) -> add_edge g u v) es;
   g
 
 let copy g =
-  { n = g.n;
+  { g with
     adj = Array.map Bitset.copy g.adj;
     uid = Atomic.fetch_and_add uid_counter 1;
     version = 0
   }
 
+let with_repr repr g =
+  if repr = g.repr then copy g
+  else begin
+    let h = make ~repr g.n in
+    for u = 0 to g.n - 1 do
+      Bitset.iter (fun v -> Bitset.add h.adj.(u) v) g.adj.(u)
+    done;
+    h
+  end
+
+(* Equality as labelled graphs: cross-representation (a sparse copy equals
+   its dense original) and total (different vertex counts answer false). *)
 let equal a b = a.n = b.n && Array.for_all2 Bitset.equal a.adj b.adj
 
 let is_connected g =
   if g.n = 0 then false
   else begin
+    (* Iterative DFS: the explicit stack keeps million-vertex paths from
+       overflowing the call stack. *)
     let seen = Array.make g.n false in
-    let rec dfs v =
-      seen.(v) <- true;
-      Bitset.iter (fun u -> if not seen.(u) then dfs u) g.adj.(v)
-    in
-    dfs 0;
+    let stack = Stack.create () in
+    seen.(0) <- true;
+    Stack.push 0 stack;
+    while not (Stack.is_empty stack) do
+      let v = Stack.pop stack in
+      Bitset.iter
+        (fun u ->
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            Stack.push u stack
+          end)
+        g.adj.(v)
+    done;
     Array.for_all Fun.id seen
   end
 
@@ -100,22 +145,23 @@ let induced g vs =
       if index.(v) <> -1 then invalid_arg "Graph.induced: duplicate vertex";
       index.(v) <- i)
     vs;
-  let h = make k in
+  let h = make ~repr:g.repr k in
   List.iter
     (fun v -> Bitset.iter (fun u -> if index.(u) >= 0 && u > v then add_edge h index.(v) index.(u)) g.adj.(v))
     vs;
   h
 
 let disjoint_union a b =
-  let g = make (a.n + b.n) in
-  List.iter (fun (u, v) -> add_edge g u v) (edges a);
-  List.iter (fun (u, v) -> add_edge g (u + a.n) (v + a.n)) (edges b);
+  let repr = if a.repr = Sparse || b.repr = Sparse then Sparse else Dense in
+  let g = make ~repr (a.n + b.n) in
+  iter_edges a (fun u v -> add_edge g u v);
+  iter_edges b (fun u v -> add_edge g (u + a.n) (v + a.n));
   g
 
 let relabel g sigma =
   if Array.length sigma <> g.n then invalid_arg "Graph.relabel: size mismatch";
-  let h = make g.n in
-  List.iter (fun (u, v) -> add_edge h sigma.(u) sigma.(v)) (edges g);
+  let h = make ~repr:g.repr g.n in
+  iter_edges g (fun u v -> add_edge h sigma.(u) sigma.(v));
   h
 
 let adjacency_row_bits g v =
@@ -136,23 +182,30 @@ let pp fmt g =
   List.iter (fun (u, v) -> Format.fprintf fmt " %d-%d" u v) (edges g);
   Format.fprintf fmt ")"
 
-(* --- generators ----------------------------------------------------------- *)
+(* --- generators -----------------------------------------------------------
 
-let path n =
-  let g = make n in
+   Sparse families (paths, cycles, stars, grids, trees, hypercubes) pick
+   their representation by size unless the caller says otherwise; the dense
+   families (complete graphs, complete bipartite, G(n, p) at constant p)
+   keep bitset rows. The hint only selects the container: the edge set and
+   every rng draw are representation-independent. *)
+
+let path ?repr n =
+  let repr = match repr with Some r -> r | None -> auto_repr n in
+  let g = make ~repr n in
   for i = 0 to n - 2 do
     add_edge g i (i + 1)
   done;
   g
 
-let cycle n =
+let cycle ?repr n =
   if n < 3 then invalid_arg "Graph.cycle: need at least 3 vertices";
-  let g = path n in
+  let g = path ?repr n in
   add_edge g (n - 1) 0;
   g
 
-let complete n =
-  let g = make n in
+let complete ?(repr = Dense) n =
+  let g = make ~repr n in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       add_edge g u v
@@ -160,15 +213,16 @@ let complete n =
   done;
   g
 
-let star n =
-  let g = make n in
+let star ?repr n =
+  let repr = match repr with Some r -> r | None -> auto_repr n in
+  let g = make ~repr n in
   for v = 1 to n - 1 do
     add_edge g 0 v
   done;
   g
 
-let complete_bipartite a b =
-  let g = make (a + b) in
+let complete_bipartite ?(repr = Dense) a b =
+  let g = make ~repr (a + b) in
   for u = 0 to a - 1 do
     for v = a to a + b - 1 do
       add_edge g u v
@@ -176,10 +230,11 @@ let complete_bipartite a b =
   done;
   g
 
-let hypercube d =
+let hypercube ?repr d =
   if d < 0 then invalid_arg "Graph.hypercube: negative dimension";
   let n = 1 lsl d in
-  let g = make n in
+  let repr = match repr with Some r -> r | None -> auto_repr n in
+  let g = make ~repr n in
   for u = 0 to n - 1 do
     for bit = 0 to d - 1 do
       let v = u lxor (1 lsl bit) in
@@ -198,8 +253,9 @@ let petersen () =
   done;
   g
 
-let grid rows cols =
-  let g = make (rows * cols) in
+let grid ?repr rows cols =
+  let repr = match repr with Some r -> r | None -> auto_repr (rows * cols) in
+  let g = make ~repr (rows * cols) in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
       let v = (r * cols) + c in
@@ -209,8 +265,8 @@ let grid rows cols =
   done;
   g
 
-let random_gnp rng n p =
-  let g = make n in
+let random_gnp ?(repr = Dense) rng n p =
+  let g = make ~repr n in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
       if Ids_bignum.Rng.float rng < p then add_edge g u v
@@ -218,10 +274,11 @@ let random_gnp rng n p =
   done;
   g
 
-let of_prufer seq =
+let of_prufer ?repr seq =
   let n = Array.length seq + 2 in
+  let repr = match repr with Some r -> r | None -> auto_repr n in
   Array.iter (fun x -> if x < 0 || x >= n then invalid_arg "Graph.of_prufer: entry out of range") seq;
-  let g = make n in
+  let g = make ~repr n in
   let degree = Array.make n 1 in
   Array.iter (fun x -> degree.(x) <- degree.(x) + 1) seq;
   (* Repeatedly join the smallest remaining leaf to the next sequence entry. *)
@@ -243,15 +300,16 @@ let of_prufer seq =
   | _ -> assert false);
   g
 
-let random_tree rng n =
+let random_tree ?repr rng n =
   if n < 1 then invalid_arg "Graph.random_tree: need n >= 1";
-  if n = 1 then make 1
-  else if n = 2 then of_edges 2 [ (0, 1) ]
-  else of_prufer (Array.init (n - 2) (fun _ -> Ids_bignum.Rng.int rng n))
+  if n = 1 then make ?repr 1
+  else if n = 2 then of_edges ?repr 2 [ (0, 1) ]
+  else of_prufer ?repr (Array.init (n - 2) (fun _ -> Ids_bignum.Rng.int rng n))
 
-let random_regular rng n d =
+let random_regular ?repr rng n d =
   if d < 0 || d >= n then invalid_arg "Graph.random_regular: need 0 <= d < n";
   if n * d mod 2 = 1 then invalid_arg "Graph.random_regular: n * d must be even";
+  let repr = match repr with Some r -> r | None -> auto_repr n in
   (* Pairing model: shuffle n*d half-edge stubs, pair consecutively, restart
      on self-loops or parallel edges. *)
   let stubs = Array.concat (List.init n (fun v -> Array.make d v)) in
@@ -259,7 +317,7 @@ let random_regular rng n d =
     if tries = 0 then failwith "Graph.random_regular: too many restarts (d too close to n?)"
     else begin
       Ids_bignum.Rng.shuffle rng stubs;
-      let g = make n in
+      let g = make ~repr n in
       let ok = ref true in
       let i = ref 0 in
       while !ok && !i < Array.length stubs do
@@ -272,9 +330,9 @@ let random_regular rng n d =
   in
   attempt 5000
 
-let random_connected_gnp rng n p =
+let random_connected_gnp ?repr rng n p =
   let rec attempt tries =
-    let g = random_gnp rng n p in
+    let g = random_gnp ?repr rng n p in
     if is_connected g then g
     else if tries = 0 then begin
       (* Too sparse to connect by luck: thread a random Hamiltonian path. *)

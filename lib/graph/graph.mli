@@ -4,12 +4,33 @@
     the paper's instances (Definition 3–5) are graphs, the distributed model
     identifies network nodes with vertices, and the hash protocols treat the
     closed neighborhood [N(v)] (which includes [v] itself, per Section 2.1 of
-    the paper) as row [v] of the adjacency matrix. *)
+    the paper) as row [v] of the adjacency matrix.
+
+    {2 Representation}
+
+    Adjacency rows are {!Bitset.t} values in one of two shapes, chosen per
+    graph at construction: {b dense} packed bit words (O(n²) bits per graph
+    — the right shape for the paper's small dense instances) or {b sparse}
+    sorted neighbor arrays (O(n + m) memory — the shape that holds a
+    bounded-degree graph on 10⁶ vertices). Every accessor and generator is
+    representation-independent: the same edges, the same rng draws, the
+    same iteration order, so protocol estimates are bit-identical across
+    backends. Generators of sparse families pick the representation by size
+    ({!auto_repr}) unless given an explicit [~repr] hint. *)
+
+type repr = Dense | Sparse
 
 type t
 
-val make : int -> t
-(** [make n] is the edgeless graph on [n] vertices. *)
+val make : ?repr:repr -> int -> t
+(** [make n] is the edgeless graph on [n] vertices; [repr] defaults to
+    [Dense] (the historical representation). *)
+
+val auto_repr : int -> repr
+(** The default representation for a sparse-family generator at size [n]:
+    [Dense] up to a fixed threshold (1024), [Sparse] above it. *)
+
+val repr : t -> repr
 
 val n : t -> int
 (** Number of vertices. *)
@@ -38,28 +59,46 @@ val has_edge : t -> int -> int -> bool
 val degree : t -> int -> int
 (** Number of neighbors, excluding [v] itself. *)
 
+val max_degree : t -> int
+(** Maximum degree over all vertices; the per-node residency bound of the
+    streaming execution paths. O(n). *)
+
 val neighbors : t -> int -> Bitset.t
 (** Open neighborhood of [v] (not including [v]). The returned set is the
-    internal one; callers must not mutate it. *)
+    internal one; callers must not mutate it. Sparse-backed graphs return a
+    sparse set (O(degree) to copy or iterate). *)
 
 val closed_neighborhood : t -> int -> Bitset.t
 (** [N(v)] in the paper's convention: neighbors of [v] plus [v] itself
-    ("with self-loops for all vertices", Section 3.1.1). Fresh copy. *)
+    ("with self-loops for all vertices", Section 3.1.1). Fresh copy, same
+    representation as the row — O(degree) for sparse-backed graphs. *)
 
 val edges : t -> (int * int) list
-(** Edge list with [u < v], sorted lexicographically. *)
+(** Edge list with [u < v], sorted lexicographically. O(m) list; prefer
+    {!iter_edges} on huge graphs. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f u v] for every edge [u < v] in lexicographic
+    order, without materializing the list. *)
 
 val edge_count : t -> int
 
-val of_edges : int -> (int * int) list -> t
+val of_edges : ?repr:repr -> int -> (int * int) list -> t
 
 val copy : t -> t
+(** Preserves the representation; fresh uid. *)
+
+val with_repr : repr -> t -> t
+(** [with_repr r g] is a copy of [g] in representation [r] (fresh uid).
+    [Graph.equal g (with_repr r g)] always holds. *)
 
 val equal : t -> t -> bool
-(** Equality as labelled graphs (same vertex count and edge set). *)
+(** Equality as labelled graphs (same vertex count and edge set), across
+    representations; different vertex counts answer [false]. *)
 
 val is_connected : t -> bool
-(** True for the one-vertex graph; false for the empty graph on [n >= 2]. *)
+(** True for the one-vertex graph; false for the empty graph on [n >= 2].
+    Iterative — safe on million-vertex paths. *)
 
 val induced : t -> int list -> t
 (** [induced g vs] is the subgraph induced on [vs], relabelled to
@@ -67,7 +106,8 @@ val induced : t -> int list -> t
     @raise Invalid_argument on duplicate or out-of-range vertices. *)
 
 val disjoint_union : t -> t -> t
-(** Vertices of the second graph are shifted by [n] of the first. *)
+(** Vertices of the second graph are shifted by [n] of the first. Sparse if
+    either operand is sparse. *)
 
 val relabel : t -> int array -> t
 (** [relabel g sigma] is the graph with edge [{sigma u, sigma v}] for every
@@ -79,40 +119,46 @@ val adjacency_row_bits : t -> int -> string
 
 val encode : t -> string
 (** Canonical labelled encoding: the upper triangle of the adjacency matrix
-    (no self-loops), row by row, as '0'/'1' characters. Equal iff {!equal}. *)
+    (no self-loops), row by row, as '0'/'1' characters. Equal iff {!equal}.
+    O(n²) — small graphs only; use {!Graph_io} codecs at scale. *)
 
 val pp : Format.formatter -> t -> unit
 
-(** {1 Generators} *)
+(** {1 Generators}
 
-val path : int -> t
-val cycle : int -> t
-val complete : int -> t
-val star : int -> t
-val complete_bipartite : int -> int -> t
-val hypercube : int -> t
+    All take an optional [?repr] hint. Sparse families (paths, cycles,
+    stars, grids, hypercubes, trees, regular graphs) default to
+    {!auto_repr}; dense families (complete, complete bipartite, [G(n, p)])
+    default to [Dense]. *)
+
+val path : ?repr:repr -> int -> t
+val cycle : ?repr:repr -> int -> t
+val complete : ?repr:repr -> int -> t
+val star : ?repr:repr -> int -> t
+val complete_bipartite : ?repr:repr -> int -> int -> t
+val hypercube : ?repr:repr -> int -> t
 (** [hypercube d] has [2^d] vertices. *)
 
 val petersen : unit -> t
-val grid : int -> int -> t
+val grid : ?repr:repr -> int -> int -> t
 
-val random_gnp : Ids_bignum.Rng.t -> int -> float -> t
+val random_gnp : ?repr:repr -> Ids_bignum.Rng.t -> int -> float -> t
 (** Erdős–Rényi [G(n, p)]. *)
 
-val random_connected_gnp : Ids_bignum.Rng.t -> int -> float -> t
+val random_connected_gnp : ?repr:repr -> Ids_bignum.Rng.t -> int -> float -> t
 (** Resamples [G(n, p)] until connected (adds a random spanning path if the
     density is too low to ever connect). *)
 
-val random_tree : Ids_bignum.Rng.t -> int -> t
+val random_tree : ?repr:repr -> Ids_bignum.Rng.t -> int -> t
 (** A uniformly random labelled tree on [n >= 1] vertices, decoded from a
     uniform Prüfer sequence (Cayley: there are [n^(n-2)] of them). *)
 
-val of_prufer : int array -> t
+val of_prufer : ?repr:repr -> int array -> t
 (** [of_prufer seq] decodes a Prüfer sequence of length [n - 2] into the
     corresponding tree on [n = length seq + 2] vertices.
     @raise Invalid_argument on out-of-range entries. *)
 
-val random_regular : Ids_bignum.Rng.t -> int -> int -> t
+val random_regular : ?repr:repr -> Ids_bignum.Rng.t -> int -> int -> t
 (** [random_regular rng n d] is a (simple) [d]-regular graph on [n]
     vertices, by the pairing model with restarts.
     @raise Invalid_argument if [n * d] is odd or [d >= n]. *)

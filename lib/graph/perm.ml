@@ -56,7 +56,9 @@ let random_nonidentity rng n =
   go ()
 
 let apply_set t s =
-  let r = Bitset.create (Bitset.capacity s) in
+  (* Preserve the argument's representation: a sparse neighborhood's image
+     stays O(degree). *)
+  let r = Bitset.create_like s in
   Bitset.iter (fun i -> Bitset.add r t.(i)) s;
   r
 

@@ -22,6 +22,28 @@ let bfs g root =
   if Array.exists (fun d -> d < 0) dist then invalid_arg "Spanning_tree.bfs: graph not connected";
   { root; parent; dist }
 
+(* One bucketing pass: children.(v) lists v's tree children ascending. The
+   per-vertex [children] below scans all n parents, which is fine for one
+   query but O(n²) summed over the tree — every scale-path consumer
+   (honest aggregation at n = 10⁶) goes through this index instead. *)
+let children_index t =
+  let n = Array.length t.parent in
+  let count = Array.make n 0 in
+  for u = 0 to n - 1 do
+    if u <> t.root && t.parent.(u) >= 0 && t.parent.(u) < n then
+      count.(t.parent.(u)) <- count.(t.parent.(u)) + 1
+  done;
+  let out = Array.init n (fun v -> Array.make count.(v) 0) in
+  let fill = Array.make n 0 in
+  for u = 0 to n - 1 do
+    if u <> t.root && t.parent.(u) >= 0 && t.parent.(u) < n then begin
+      let p = t.parent.(u) in
+      out.(p).(fill.(p)) <- u;
+      fill.(p) <- fill.(p) + 1
+    end
+  done;
+  out
+
 let children t v =
   let acc = ref [] in
   for u = Array.length t.parent - 1 downto 0 do
@@ -30,8 +52,18 @@ let children t v =
   !acc
 
 let subtree t v =
-  let rec collect v = v :: List.concat_map collect (children t v) in
-  List.sort Stdlib.compare (collect v)
+  (* Explicit stack over the children index: linear, and safe at depths
+     (million-vertex paths) where the naive recursion would overflow. *)
+  let index = children_index t in
+  let acc = ref [] in
+  let stack = Stack.create () in
+  Stack.push v stack;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    acc := u :: !acc;
+    Array.iter (fun c -> Stack.push c stack) index.(u)
+  done;
+  List.sort Stdlib.compare !acc
 
 let is_valid g t =
   let n = Graph.n g in
@@ -47,4 +79,16 @@ let is_valid g t =
     if v <> t.root then
       if not (Graph.has_edge g v t.parent.(v)) || t.dist.(v) <> t.dist.(t.parent.(v)) + 1 then ok := false
   done;
-  !ok && List.length (subtree t t.root) = n
+  (* Reachability count via the children index — no list materialization. *)
+  !ok
+  &&
+  let index = children_index t in
+  let reached = ref 0 in
+  let stack = Stack.create () in
+  Stack.push t.root stack;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    incr reached;
+    Array.iter (fun c -> Stack.push c stack) index.(u)
+  done;
+  !reached = n

@@ -22,12 +22,16 @@ let subtree_equation f ~own ~claimed ~children v =
 let honest_sums f tree ~term =
   let n = Array.length tree.Spanning_tree.parent in
   let sums = Array.make n f.Ids_hash.Field.zero in
-  (* Accumulate leaves-first: order vertices by decreasing distance. *)
+  (* Accumulate leaves-first: order vertices by decreasing distance. The
+     one-pass children index replaces a per-vertex parent scan that summed
+     to O(n²) — at n = 10⁶ the difference between seconds and weeks. Child
+     visit order (ascending) is unchanged, so sums are bit-identical. *)
+  let index = Spanning_tree.children_index tree in
   let order = Array.init n Fun.id in
   Array.sort (fun u v -> Stdlib.compare tree.Spanning_tree.dist.(v) tree.Spanning_tree.dist.(u)) order;
   Array.iter
     (fun v ->
-      let children = Spanning_tree.children tree v in
-      sums.(v) <- List.fold_left (fun acc u -> f.Ids_hash.Field.add acc sums.(u)) (term v) children)
+      sums.(v) <-
+        Array.fold_left (fun acc u -> f.Ids_hash.Field.add acc sums.(u)) (term v) index.(v))
     order;
   sums

@@ -1,0 +1,227 @@
+module Graph = Ids_graph.Graph
+module Spanning_tree = Ids_graph.Spanning_tree
+module Network = Ids_network.Network
+module Fault = Ids_network.Fault
+module Bits = Ids_network.Bits
+module Field = Ids_hash.Field
+module Api = Ids_hash.Api
+module Rng = Ids_bignum.Rng
+
+type params = { q : int; field : int Field.t; copies : int }
+
+(* A modulus that makes the eps-API bound meaningful: eps = q (m/q)^k < 1
+   needs q > m^(k/(k-1)) for m = n² + n matrix cells, so we draw a seeded
+   random prime in [4 m^(3/2), 8 m^(3/2)] (giving eps <= 1/16 at the
+   default k = 3). When that interval leaves the 31-bit mulmod-safe range
+   of the native-int field (n beyond a few hundred), the scale path pins q
+   to a fixed prime just below 2^30: completeness — what the n = 10⁶ run
+   measures — is exact for every q, and a soundness-grade modulus at that
+   size needs the wide-limb bignum work tracked in the ROADMAP. *)
+let scale_q = 1073741789 (* largest prime below 2^30 *)
+
+(* Floor square root, integer-exact (the float seed is only a first guess,
+   so the draw below is deterministic across platforms). *)
+let isqrt m =
+  let s = ref (int_of_float (sqrt (float_of_int m))) in
+  while !s * !s > m do
+    decr s
+  done;
+  while (!s + 1) * (!s + 1) <= m do
+    incr s
+  done;
+  !s
+
+let params_for ?(k = Api.default_copies) ~seed g =
+  if k < 1 then invalid_arg "Apihash.params_for: need k >= 1";
+  let n = Graph.n g in
+  let m = (n * n) + n in
+  (* m <= 2^18 is exactly when 8 m^(3/2) <= 2^30; checking m first keeps
+     the product below from overflowing at n = 10^6 (where 4 m^(3/2) would
+     exceed max_int). *)
+  let q =
+    if m <= 1 lsl 18 then begin
+      let lo = 4 * m * isqrt m in
+      Ids_bignum.Prime.random_prime_in_int (Rng.create (seed lxor 0x4a71)) lo (2 * lo)
+    end
+    else scale_q
+  in
+  { q; field = Field.int_field q; copies = k }
+
+let epsilon params ~n =
+  Api.epsilon params.field ~n ~k:params.copies ~q:(float_of_int params.q)
+
+(* The prover's whole message, as the honest prover computes it: spanning
+   tree labels rooted at [root], per-node subtree aggregates of the k inner
+   row hashes, and the claimed hash of the adjacency matrix. [agg] is
+   flattened n×k so a million-node advice is one unboxed int array. *)
+type advice = {
+  root : int;
+  parent : int array;
+  dist : int array;
+  agg : int array;
+  claim : int;
+}
+
+let honest_advice params (spec : int Api.spec) ~root g =
+  let n = Graph.n g in
+  let f = params.field and k = params.copies in
+  let tree = Spanning_tree.bfs g root in
+  let term v = Api.row_term f spec ~n ~row:v (Graph.closed_neighborhood g v) in
+  (* One scalar aggregation per inner copy; each [term] call touches one
+     node's O(degree) view and is released before the next. *)
+  let per_copy = Array.init k (fun i -> Aggregation.honest_sums f tree ~term:(fun v -> (term v).(i))) in
+  let agg = Array.init (n * k) (fun j -> per_copy.(j mod k).(j / k)) in
+  { root;
+    parent = tree.Spanning_tree.parent;
+    dist = tree.Spanning_tree.dist;
+    agg;
+    claim = Api.finalize f spec (Array.init k (fun i -> per_copy.(i).(root)))
+  }
+
+type prover = params -> int Api.spec -> root:int -> Graph.t -> advice
+
+let honest : prover = fun params spec ~root g -> honest_advice params spec ~root g
+
+(* Forge the claimed hash without fixing the aggregates: the root's
+   finalize equation catches it with probability 1. *)
+let adversary_wrong_claim : prover =
+ fun params spec ~root g ->
+  let a = honest_advice params spec ~root g in
+  { a with claim = (a.claim + 1) mod params.q }
+
+(* Patch one node's first inner aggregate: either that node's subtree
+   equation or its parent's breaks. *)
+let adversary_corrupt_agg node : prover =
+ fun params spec ~root g ->
+  let a = honest_advice params spec ~root g in
+  let agg = Array.copy a.agg in
+  let j = node * params.copies in
+  agg.(j) <- (agg.(j) + 1) mod params.q;
+  { a with agg }
+
+let response_bits_per_node f ~k n =
+  (* spec echo + claim + root broadcast, parent + dist + k aggregates
+     unicast: Θ(k log n) per node — the §4 budget. *)
+  Api.spec_bits f ~k + f.Field.bits + Bits.id n + (2 * Bits.id n) + (k * f.Field.bits)
+
+(* One execution, every round streamed: the Arthur round folds per-node
+   spec draws keeping only the root's, the Merlin rounds deliver into flat
+   arrays (one machine word or k ints per node), and verification runs
+   inside Network.decide — each node's row term is recomputed from its
+   shared O(degree) graph row on demand, so no per-node view outlives its
+   visit. *)
+let run_body ?fault ?(prover = honest) ?k ~seed ~root g =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Apihash.run: root out of range";
+  let params = params_for ?k ~seed g in
+  let f = params.field and k = params.copies in
+  let net = Network.create ?fault ~seed g in
+  let spec_bits = Api.spec_bits f ~k in
+  (* Arthur: every node draws a spec; the root's draw is the shared one the
+     prover must echo. Streamed — n - 1 of the draws die immediately. *)
+  let root_spec =
+    Network.challenge_fold net ~bits:spec_bits ~gen:(Api.random_spec f ~k) ~init:None
+      (fun acc view -> if view.Network.node = root then Some view.Network.value else acc)
+  in
+  let root_spec = Option.get root_spec in
+  let a = prover params root_spec ~root g in
+  (* Merlin broadcasts. Delivered copies land in one pointer/int slot per
+     node; unfaulted runs share a single spec record across all n slots. *)
+  let field_corrupt = Fault.flip_int_bit ~bits:f.Field.bits in
+  let spec_corrupt rng (s : int Api.spec) = { s with Api.shift = field_corrupt rng s.Api.shift } in
+  let id_corrupt = Fault.flip_int_bit ~bits:(Bits.id n) in
+  let spec_bc = Array.make n root_spec in
+  Network.broadcast_fold net ~corrupt:spec_corrupt ~bits:spec_bits root_spec ~init:()
+    (fun () v -> spec_bc.(v.Network.node) <- v.Network.value);
+  let claim_bc = Array.make n 0 in
+  Network.broadcast_fold net ~corrupt:field_corrupt ~bits:f.Field.bits a.claim ~init:()
+    (fun () v -> claim_bc.(v.Network.node) <- v.Network.value);
+  let root_bc = Array.make n 0 in
+  Network.broadcast_fold net ~corrupt:id_corrupt ~bits:(Bits.id n) a.root ~init:()
+    (fun () v -> root_bc.(v.Network.node) <- v.Network.value);
+  (* Merlin unicasts: tree labels and the k-vector of subtree aggregates,
+     produced per node on demand. *)
+  let parent_bc = Array.make n 0 in
+  Network.unicast_fold net ~corrupt:id_corrupt ~bits:(Bits.id n)
+    ~respond:(fun v -> a.parent.(v))
+    ~init:()
+    (fun () v -> parent_bc.(v.Network.node) <- v.Network.value);
+  let dist_bc = Array.make n 0 in
+  Network.unicast_fold net ~corrupt:id_corrupt ~bits:(Bits.id n)
+    ~respond:(fun v -> a.dist.(v))
+    ~init:()
+    (fun () v -> dist_bc.(v.Network.node) <- v.Network.value);
+  let agg_corrupt rng row =
+    if Array.length row = 0 then row
+    else begin
+      let row = Array.copy row in
+      let i = Rng.int rng (Array.length row) in
+      row.(i) <- field_corrupt rng row.(i);
+      row
+    end
+  in
+  let agg_bc = Array.make (n * k) 0 in
+  Network.unicast_fold net ~corrupt:agg_corrupt ~bits:(k * f.Field.bits)
+    ~respond:(fun v -> Array.init k (fun i -> a.agg.((v * k) + i)))
+    ~init:()
+    (fun () view ->
+      let row = view.Network.value in
+      if Array.length row = k then
+        Array.blit row 0 agg_bc (view.Network.node * k) k
+      else
+        (* A cheating prover shipped the wrong arity; poison the slot so the
+           range check below rejects deterministically. *)
+        Array.fill agg_bc (view.Network.node * k) k (-1));
+  (* Local verification, one node at a time inside decide. *)
+  let field_ok x = Aggregation.in_range params.q x in
+  let spec_eq (x : int Api.spec) (y : int Api.spec) = x == y || x = y in
+  let check v =
+    let nbrs_consistent =
+      Ids_graph.Bitset.fold
+        (fun u acc ->
+          acc
+          && (Network.crashed net u
+             || (spec_eq spec_bc.(u) spec_bc.(v)
+                && claim_bc.(u) = claim_bc.(v)
+                && root_bc.(u) = root_bc.(v))))
+        (Graph.neighbors g v) true
+    in
+    let spec = spec_bc.(v) and claim = claim_bc.(v) and rt = root_bc.(v) in
+    nbrs_consistent
+    && Aggregation.in_range n rt
+    && field_ok claim
+    && Array.length spec.Api.points = k
+    && Array.for_all field_ok spec.Api.points
+    && Array.for_all field_ok spec.Api.coeffs
+    && field_ok spec.Api.shift
+    && Aggregation.tree_check g ~root:rt ~parent:parent_bc ~dist:dist_bc v
+    &&
+    let ok = ref true in
+    for i = 0 to k - 1 do
+      if not (field_ok agg_bc.((v * k) + i)) then ok := false
+    done;
+    !ok
+    &&
+    (* Own term from the shared O(degree) row, then the Lemma 3.3 subtree
+       equation per inner copy. *)
+    let term = Api.row_term f spec ~n ~row:v (Graph.closed_neighborhood g v) in
+    let children = Aggregation.children g ~parent:parent_bc v in
+    let copy_ok i =
+      let expected =
+        List.fold_left (fun acc u -> f.Field.add acc agg_bc.((u * k) + i)) term.(i) children
+      in
+      agg_bc.((v * k) + i) = expected
+    in
+    let rec all_copies i = i >= k || (copy_ok i && all_copies (i + 1)) in
+    all_copies 0
+    &&
+    if v = rt then
+      f.Field.equal (Api.finalize f spec (Array.init k (fun i -> agg_bc.((v * k) + i)))) claim
+      && v = root && spec_eq spec root_spec
+    else true
+  in
+  let accepted = Network.decide net check in
+  Outcome.of_cost ~accepted ~prover:"apihash" (Network.cost net)
+
+let run ?fault ?prover ?k ~seed ~root g =
+  Ids_obs.Obs.span "apihash.run" (fun () -> run_body ?fault ?prover ?k ~seed ~root g)

@@ -1,0 +1,74 @@
+(** Distributed evaluation of the Section 4 eps-API hash, end to end.
+
+    The language is trivial — the prover claims [y = h_spec(G)] for the
+    execution's own graph — but the protocol exercises exactly the
+    tree-aggregability that Section 4 needs from the hash: Arthur draws the
+    spec, Merlin commits to a BFS spanning tree, per-node subtree aggregates
+    of the [k] inner row hashes, and the claimed hash; each node then checks
+    its tree labels, recomputes its own row term from its O(degree) view,
+    and verifies the Lemma 3.3 subtree equation, with the root applying the
+    outer layer. Completeness is exact; a wrong claim or any tampered
+    aggregate breaks an equation at some node.
+
+    Every round runs over {!Ids_network.Network}'s streamed views, so the
+    protocol completes at n = 10⁶ with O(n) machine words of delivered
+    state and O(max degree) transient state per node — this is the scale
+    exemplar benchmarked by [bench/scale]. *)
+
+type params = { q : int; field : int Ids_hash.Field.t; copies : int }
+
+val params_for : ?k:int -> seed:int -> Ids_graph.Graph.t -> params
+(** Modulus and copy count for a graph: a seeded random prime in
+    [\[4 m^(3/2), 8 m^(3/2)\]] for [m = n² + n] — the least growth rate
+    with [eps < 1] at [k = 3] — when that fits the native-int field, else
+    a fixed prime just below [2^30] (the scale path measures completeness
+    and throughput, which hold for every [q]; see the DESIGN.md
+    discussion). [k] defaults to {!Ids_hash.Api.default_copies}.
+    @raise Invalid_argument if [k < 1]. *)
+
+val epsilon : params -> n:int -> float
+(** The analytical eps-API bound for these parameters. *)
+
+(** The prover's full message: spanning-tree labels, flattened n×k subtree
+    aggregates ([agg.((v * copies) + i)] is copy [i] at node [v]), and the
+    claimed hash. *)
+type advice = {
+  root : int;
+  parent : int array;
+  dist : int array;
+  agg : int array;
+  claim : int;
+}
+
+val honest_advice : params -> int Ids_hash.Api.spec -> root:int -> Ids_graph.Graph.t -> advice
+
+type prover = params -> int Ids_hash.Api.spec -> root:int -> Ids_graph.Graph.t -> advice
+
+val honest : prover
+
+val adversary_wrong_claim : prover
+(** Honest advice with the claimed hash shifted: rejected with
+    probability 1 (the root's finalize equation). *)
+
+val adversary_corrupt_agg : int -> prover
+(** Honest advice with the named node's first inner aggregate shifted:
+    rejected with probability 1 (a subtree equation at that node or its
+    parent). *)
+
+val response_bits_per_node : int Ids_hash.Field.t -> k:int -> int -> int
+(** Prover bits each node receives across all Merlin rounds:
+    [Theta(k log n)]. *)
+
+val run :
+  ?fault:Ids_network.Fault.spec ->
+  ?prover:prover ->
+  ?k:int ->
+  seed:int ->
+  root:int ->
+  Ids_graph.Graph.t ->
+  Outcome.t
+(** One execution on a connected graph: spec challenge (streamed), spec /
+    claim / root broadcasts, tree-label and aggregate unicasts, local
+    verification inside {!Ids_network.Network.decide}. Deterministic in
+    [seed]; the fault layer applies to every round.
+    @raise Invalid_argument if [root] is out of range. *)

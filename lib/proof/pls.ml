@@ -46,9 +46,16 @@ module Lcp_sym = struct
     | None -> None
     | Some rho ->
       let n = Graph.n g in
-      let m = encode_matrix g in
+      (* Every node gets the same advice copy, so build the n²-character
+         matrix string once and alias it n times ([Array.make] shares the
+         pointer). Rebuilding it per node inside [Array.init] allocated
+         O(n³) bytes of identical strings — the allocation wall that kept
+         the scale path off this prover. The [rho] rows alias one shared
+         table the same way; both are safe because [verify] only reads
+         advice, and an adversarial prover supplies its own arrays. *)
+      let enc = String.concat "" (Array.to_list (encode_matrix g)) in
       let table = Array.init n (Perm.apply rho) in
-      Some { matrix = Array.init n (fun _ -> String.concat "" (Array.to_list m)); rho = Array.make n table }
+      Some { matrix = Array.make n enc; rho = Array.make n table }
 
   let advice_bits g =
     let n = max 2 (Graph.n g) in

@@ -79,6 +79,117 @@ let test_graph6_malformed () =
       | _ -> Alcotest.failf "should reject %S" s)
     [ ""; "B"; "Bwx"; "\x1c" ]
 
+let test_graph6_size_header_forms () =
+  (* All three header forms with their boundary values. A full graph6
+     payload above the 4-byte limit is ~n²/12 bytes (gigabytes), so the
+     8-byte form is pinned on the shared size codec and exercised
+     end-to-end through sparse6 below. *)
+  List.iter
+    (fun (n, want_len) ->
+      let h = Graph_io.size_header n in
+      Alcotest.(check int) (Printf.sprintf "header length for %d" n) want_len (String.length h);
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "decode of %d" n)
+        (n, want_len) (Graph_io.decode_size_header h))
+    [ (0, 1); (62, 1); (63, 4); (258047, 4); (258048, 8); ((1 lsl 36) - 1, 8) ];
+  Alcotest.(check string) "long-form prefix" "~~" (String.sub (Graph_io.size_header 258048) 0 2);
+  (match Graph_io.size_header (1 lsl 36) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "should reject n = 2^36")
+
+let test_graph6_overlong_header_rejected () =
+  (* n = 3 spelled with the 4-byte header; n = 100 spelled with the 8-byte
+     one. Same values, non-minimal headers: both must be rejected (each
+     legal n has exactly one encoding). *)
+  let enc4 n =
+    Printf.sprintf "~%c%c%c"
+      (Char.chr (((n lsr 12) land 63) + 63))
+      (Char.chr (((n lsr 6) land 63) + 63))
+      (Char.chr ((n land 63) + 63))
+  in
+  let enc8 n = "~~" ^ String.init 6 (fun i -> Char.chr (((n lsr (6 * (5 - i))) land 63) + 63)) in
+  let body n g =
+    let e = Graph_io.to_graph6 g in
+    String.sub e n (String.length e - n)
+  in
+  let overlong4 = enc4 3 ^ body 1 (Graph.complete 3) in
+  let overlong8 = enc8 100 ^ body 4 (Graph.cycle 100) in
+  List.iter
+    (fun (tag, s) ->
+      match Graph_io.of_graph6 s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "should reject overlong %s" tag)
+    [ ("4-byte", overlong4); ("8-byte", overlong8) ];
+  List.iter
+    (fun (tag, s) ->
+      match Graph_io.decode_size_header s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "should reject %s" tag)
+    [ ("overlong 4-byte header", enc4 62); ("overlong 8-byte header", enc8 258047);
+      ("truncated 4-byte header", "~B"); ("truncated 8-byte header", "~~??") ]
+
+let test_sparse6_known () =
+  (* :Fa@x^ is the 5-cycle plus chords {0,2},{0,4}... use nauty's documented
+     example: ":Fa@x^" encodes the graph with edges
+     0-1 0-2 1-2 5-6 on 7 vertices. *)
+  let g = Graph_io.of_sparse6 ":Fa@x^" in
+  Alcotest.(check int) "n" 7 (Graph.n g);
+  Alcotest.(check (list (pair int int)))
+    "edges"
+    [ (0, 1); (0, 2); (1, 2); (5, 6) ]
+    (List.sort Stdlib.compare (Graph.edges g))
+
+let prop_sparse6_roundtrip =
+  QCheck.Test.make ~name:"sparse6 roundtrip" ~count:200
+    QCheck.(pair (int_range 1 40) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let g = Graph.random_gnp (Rng.create seed) n 0.2 in
+      Graph.equal g (Graph_io.of_sparse6 (Graph_io.to_sparse6 g)))
+
+let test_sparse6_power_of_two_padding () =
+  (* n = 2^k sizes hit the shield-bit special case in the padding rule. *)
+  List.iter
+    (fun n ->
+      let gs = [ Graph.path n; Graph.star n ] @ (if n >= 3 then [ Graph.cycle n ] else []) in
+      List.iter
+        (fun g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d roundtrip" n)
+            true
+            (Graph.equal g (Graph_io.of_sparse6 (Graph_io.to_sparse6 g))))
+        gs)
+    [ 2; 4; 8; 16; 32 ]
+
+let test_sparse6_long_form () =
+  let n = 258048 in
+  let g = Graph.cycle ~repr:Graph.Sparse n in
+  let enc = Graph_io.to_sparse6 g in
+  Alcotest.(check string) "long-form prefix" ":~~" (String.sub enc 0 3);
+  Alcotest.(check bool) "roundtrip" true (Graph.equal g (Graph_io.of_sparse6 enc));
+  (* Linear, not quadratic: a million-edge cycle fits in a few MB. *)
+  Alcotest.(check bool) "linear size" true (String.length enc < 4 * n)
+
+let test_sparse6_header_and_whitespace () =
+  let g = Graph.petersen () in
+  let enc = ">>sparse6<<" ^ Graph_io.to_sparse6 g ^ "\n" in
+  Alcotest.(check bool) "header stripped" true (Graph.equal g (Graph_io.of_sparse6 enc))
+
+let test_sparse6_malformed () =
+  List.iter
+    (fun (tag, s) ->
+      match Graph_io.of_sparse6 s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "should reject %s: %S" tag s)
+    [ ("empty", "");
+      ("missing colon", "Fa@x^");
+      ("truncated 4-byte size", ":~B");
+      ("truncated 8-byte size", ":~~???");
+      ("overlong 4-byte size", ":~??B");
+      ("overlong 8-byte size", ":~~?????B");
+      ("bad payload byte", ":F\x1c");
+      ("self-loop", ":BF")
+    ]
+
 let test_dot_output () =
   let dot = Graph_io.to_dot ~name:"triangle" (Graph.complete 3) in
   Alcotest.(check bool) "has header" true (String.length dot > 0 && String.sub dot 0 14 = "graph triangle");
@@ -266,8 +377,16 @@ let suite =
         Alcotest.test_case "graph6 header/whitespace" `Quick test_graph6_header_and_whitespace;
         Alcotest.test_case "graph6 n=100" `Quick test_graph6_big_n;
         Alcotest.test_case "graph6 malformed" `Quick test_graph6_malformed;
+        Alcotest.test_case "size header forms" `Quick test_graph6_size_header_forms;
+        Alcotest.test_case "overlong headers rejected" `Quick test_graph6_overlong_header_rejected;
+        Alcotest.test_case "sparse6 known encoding" `Quick test_sparse6_known;
+        Alcotest.test_case "sparse6 power-of-two padding" `Quick test_sparse6_power_of_two_padding;
+        Alcotest.test_case "sparse6 long form" `Quick test_sparse6_long_form;
+        Alcotest.test_case "sparse6 header/whitespace" `Quick test_sparse6_header_and_whitespace;
+        Alcotest.test_case "sparse6 malformed" `Quick test_sparse6_malformed;
         Alcotest.test_case "dot output" `Quick test_dot_output;
-        qtest prop_graph6_roundtrip
+        qtest prop_graph6_roundtrip;
+        qtest prop_sparse6_roundtrip
       ] );
     ( "trees+regular",
       [ Alcotest.test_case "Prüfer known sequence" `Quick test_prufer_known;

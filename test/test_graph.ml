@@ -48,6 +48,57 @@ let prop_bitset_list_roundtrip =
       let sorted = List.sort_uniq Stdlib.compare xs in
       Bitset.to_list (Bitset.of_list 64 xs) = sorted)
 
+let test_bitset_sparse_mirrors_dense () =
+  (* The sparse representation must answer every query identically. *)
+  let rng = Rng.create 21 in
+  for _ = 1 to 50 do
+    let d = Bitset.create 200 and s = Bitset.create_sparse 200 in
+    for _ = 1 to 60 do
+      let x = Rng.int rng 200 in
+      if Rng.int rng 3 = 0 then begin
+        Bitset.remove d x;
+        Bitset.remove s x
+      end
+      else begin
+        Bitset.add d x;
+        Bitset.add s x
+      end
+    done;
+    Alcotest.(check bool) "is_sparse" true (Bitset.is_sparse s && not (Bitset.is_sparse d));
+    Alcotest.(check (list int)) "same elements" (Bitset.to_list d) (Bitset.to_list s);
+    Alcotest.(check int) "same cardinal" (Bitset.cardinal d) (Bitset.cardinal s);
+    Alcotest.(check (option int)) "same choose" (Bitset.choose d) (Bitset.choose s);
+    Alcotest.(check bool) "mixed equal d/s" true (Bitset.equal d s);
+    Alcotest.(check bool) "mixed equal s/d" true (Bitset.equal s d);
+    Alcotest.(check int) "fold order identical" (Bitset.fold (fun x acc -> (acc * 31) + x) d 7)
+      (Bitset.fold (fun x acc -> (acc * 31) + x) s 7);
+    let s' = Bitset.copy s in
+    Alcotest.(check bool) "copy keeps repr" true (Bitset.is_sparse s');
+    Bitset.add s' 199;
+    Bitset.remove s' 198;
+    Alcotest.(check bool) "copy independent"
+      (Bitset.mem s 199 && not (Bitset.mem s 198))
+      (Bitset.mem s' 199 && not (Bitset.mem s' 198) && Bitset.equal s s')
+  done
+
+(* The capacity-mismatch bugfix, pinned: [equal] is total — different
+   capacities compare unequal instead of raising — in all four
+   representation combinations, and within one capacity it is exactly
+   element-set equality. *)
+let prop_bitset_equal_total =
+  let elems = QCheck.(list_of_size (QCheck.Gen.int_bound 12) (int_bound 49)) in
+  QCheck.Test.make ~name:"bitset equal: total, capacity-sensitive, repr-blind" ~count:300
+    QCheck.(quad (int_range 50 52) (int_range 50 52) elems elems)
+    (fun (c1, c2, xs, ys) ->
+      let want = c1 = c2 && List.sort_uniq Stdlib.compare xs = List.sort_uniq Stdlib.compare ys in
+      List.for_all
+        (fun (a, b) -> Bitset.equal a b = want && Bitset.equal b a = want)
+        [ (Bitset.of_list c1 xs, Bitset.of_list c2 ys);
+          (Bitset.of_list_sparse c1 xs, Bitset.of_list_sparse c2 ys);
+          (Bitset.of_list c1 xs, Bitset.of_list_sparse c2 ys);
+          (Bitset.of_list_sparse c1 xs, Bitset.of_list c2 ys)
+        ])
+
 (* --- graphs ---------------------------------------------------------------- *)
 
 let test_graph_edges () =
@@ -389,7 +440,9 @@ let suite =
       [ Alcotest.test_case "basic ops" `Quick test_bitset_basic;
         Alcotest.test_case "bounds checked" `Quick test_bitset_bounds;
         Alcotest.test_case "set operations" `Quick test_bitset_set_ops;
-        qtest prop_bitset_list_roundtrip
+        Alcotest.test_case "sparse mirrors dense" `Quick test_bitset_sparse_mirrors_dense;
+        qtest prop_bitset_list_roundtrip;
+        qtest prop_bitset_equal_total
       ] );
     ( "graph",
       [ Alcotest.test_case "edges" `Quick test_graph_edges;
