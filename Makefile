@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make test` is the tier-1 gate.
 
-.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup bench-serve bench-scale faults frontier serve-smoke clean
+.PHONY: all check test test-fast bench bench-modarith bench-obs bench-setup bench-serve bench-scale bench-telemetry bench-trajectory faults frontier serve-smoke clean
 
 all:
 	dune build
@@ -15,7 +15,9 @@ test:
 # frontier smoke (search-dominates-registry assertion), the run-log
 # inspector's embedded v2/v3 samples, the tracing layer's
 # zero-cost-when-disabled bound, and the verification-service smoke
-# (daemon round-trip with a forced worker kill + torn-tail recovery).
+# (daemon round-trip with a forced worker kill + torn-tail recovery),
+# the telemetry-plane smoke (ledger exactness, trace stitching, torn
+# frame drill), and the committed-benchmark trajectory table.
 check:
 	dune build && dune runtest && \
 	dune exec bench/modarith/main.exe -- --smoke && \
@@ -24,7 +26,9 @@ check:
 	dune exec bin/ids_inspect.exe -- --self-test && \
 	dune exec bench/obs/main.exe -- --smoke && \
 	dune exec bench/serve/main.exe -- --smoke && \
-	dune exec bench/scale/main.exe -- --smoke -o /dev/null
+	dune exec bench/scale/main.exe -- --smoke -o /dev/null && \
+	dune exec bench/telemetry/main.exe -- --smoke && \
+	dune exec bin/ids_inspect.exe -- --bench-summary .
 
 # Same suite with Monte Carlo trial budgets cut down via IDS_TRIALS_SCALE.
 test-fast:
@@ -85,6 +89,21 @@ bench-scale:
 # availability of accepted requests with every record bit-identical.
 bench-serve:
 	dune exec bench/serve/main.exe
+
+# E20 full telemetry bench: chaos workload with the telemetry plane on —
+# the server-folded ledger must equal the in-process oracle's net-bit sums
+# exactly with every counted gap accounted for, the merged Chrome trace
+# must stitch spans from server and worker pids under shared trace ids,
+# and the enabled-path overhead must stay under 3% of the E18-style
+# throughput run. Regenerates BENCH_telemetry.json.
+bench-telemetry:
+	dune exec bench/telemetry/main.exe
+
+# The benchmark trajectory: one headline line per committed BENCH_*.json,
+# rendered by the run-log inspector (parse failure = non-zero exit, so a
+# malformed committed benchmark fails `make check`).
+bench-trajectory:
+	dune exec bin/ids_inspect.exe -- --bench-summary .
 
 clean:
 	dune clean

@@ -176,7 +176,7 @@ let phase_a ~mode ~socket ~log_path ~chaos ~count ~forced_every ~window ~trials_
   List.iter
     (fun { sreq; sresp; latency_ms } ->
       match (sreq.Request.op, sresp) with
-      | ( Request.Estimate { protocol; strategy; trials; fault; kill_attempt },
+      | ( Request.Estimate { protocol; strategy; trials; fault; kill_attempt; _ },
           Request.Estimated { attempts; record; _ } ) ->
         let want = expected_record ~protocol ~strategy ~trials ~fault in
         if record <> want then
@@ -206,7 +206,9 @@ let phase_a ~mode ~socket ~log_path ~chaos ~count ~forced_every ~window ~trials_
     served;
   (* The daemon's own view must agree: everything accepted completed. *)
   let stats =
-    match Client.request client { Request.id = "stats"; op = Request.Stats } with
+    match
+      Client.request client { Request.id = "stats"; op = Request.Stats Request.Basic; trace = None }
+    with
     | Ok (Request.Stats_reply { stats; _ }) -> stats
     | Ok _ -> fail "stats: wrong response shape"
     | Error e -> fail "stats: %s" e

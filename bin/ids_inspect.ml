@@ -17,6 +17,8 @@
 module Runlog = Ids_engine.Runlog
 module Strategy = Ids_proof.Strategy
 module Json = Ids_obs.Json
+module Client = Ids_serve.Client
+module Request = Ids_serve.Request
 open Cmdliner
 
 let ceil_log2 k =
@@ -368,11 +370,226 @@ let follow_log file protocol =
   in
   loop ()
 
+(* --- live telemetry dashboard -------------------------------------------------------- *)
+
+(* Poll the daemon's telemetry endpoint (a Stats request with format=json)
+   and render the service / per-protocol / per-shard tables.  The JSON body
+   is produced by Telemetry.to_json; rendering is lenient so a newer daemon
+   with extra fields still displays. *)
+
+let jget j path = List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+let jint j path = Option.value (Option.bind (jget j path) Json.to_int) ~default:0
+let jfloat j path = Option.value (Option.bind (jget j path) Json.to_float) ~default:0.
+let jstr j path = Option.value (Option.bind (jget j path) Json.to_string) ~default:"?"
+
+let hist_cols j key =
+  Printf.sprintf "%8.2f %8.2f %8.2f" (jfloat j [ key; "mean" ]) (jfloat j [ key; "p50" ])
+    (jfloat j [ key; "p99" ])
+
+let render_live socket body =
+  match Json.parse body with
+  | Error e -> Printf.eprintf "ids-inspect: telemetry body does not parse: %s\n%!" e
+  | Ok j ->
+    Printf.printf "ids-serve @ %s   up %.1fs   availability %.2f%%   lost deltas %d   flushes %d\n"
+      socket (jfloat j [ "uptime_s" ])
+      (100. *. jfloat j [ "availability" ])
+      (jint j [ "lost_deltas" ]) (jint j [ "flushes" ]);
+    (match jget j [ "service" ] with
+    | Some (Json.Obj kvs) ->
+      print_string "service:";
+      List.iter
+        (fun (k, v) ->
+          match Json.to_int v with
+          | Some n -> Printf.printf " %s=%d" k n
+          | None -> ())
+        kvs;
+      print_newline ()
+    | _ -> ());
+    (match jget j [ "protocols" ] with
+    | Some (Json.Arr (_ :: _ as ps)) ->
+      Printf.printf "\n%-14s %6s %6s %6s | %26s | %26s | %26s\n" "protocol" "compl" "fail"
+        "retry" "queue ms mean/p50/p99" "run ms mean/p50/p99" "total ms mean/p50/p99";
+      List.iter
+        (fun p ->
+          Printf.printf "%-14s %6d %6d %6d | %s | %s | %s\n"
+            (jstr p [ "protocol" ])
+            (jint p [ "completed" ])
+            (jint p [ "failed" ])
+            (jint p [ "retries" ])
+            (hist_cols p "queue_ms") (hist_cols p "run_ms") (hist_cols p "total_ms"))
+        ps
+    | _ -> print_endline "\n(no requests observed yet)");
+    (match jget j [ "shards" ] with
+    | Some (Json.Arr (_ :: _ as ss)) ->
+      Printf.printf "\n%5s %8s %4s %7s %5s  %s\n" "shard" "pid" "gen" "frames" "lost"
+        "ledger counters";
+      List.iter
+        (fun s ->
+          let counters =
+            match jget s [ "counters" ] with
+            | Some (Json.Obj kvs) ->
+              String.concat " "
+                (List.filter_map
+                   (fun (k, v) ->
+                     Option.map (fun n -> Printf.sprintf "%s=%d" k n) (Json.to_int v))
+                   kvs)
+            | _ -> ""
+          in
+          Printf.printf "%5d %8d %4d %7d %5d  %s\n" (jint s [ "wid" ]) (jint s [ "pid" ])
+            (jint s [ "generations" ])
+            (jint s [ "frames" ])
+            (jint s [ "lost_deltas" ])
+            (if counters = "" then "(no frames yet)" else counters))
+        ss
+    | _ -> ())
+
+let fetch_stats socket fmt =
+  match Client.connect ~wait:2. socket with
+  | Error e -> Error e
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        match
+          Client.request c { Request.id = "inspect"; op = Request.Stats fmt; trace = None }
+        with
+        | Ok (Request.Stats_reply { body = Some b; _ }) -> Ok b
+        | Ok (Request.Stats_reply { body = None; _ }) ->
+          Error "daemon answered without a telemetry body"
+        | Ok (Request.Rejected { reject = Request.Bad_request e; _ }) -> Error e
+        | Ok _ -> Error "unexpected response to the stats request"
+        | Error e -> Error e)
+
+let live socket interval once prom =
+  let fmt = if prom then Request.Prom else Request.Json_full in
+  let rec loop () =
+    match fetch_stats socket fmt with
+    | Error e ->
+      Printf.eprintf "ids-inspect: %s: %s\n%!" socket e;
+      if once then 1
+      else begin
+        Unix.sleepf interval;
+        loop ()
+      end
+    | Ok body ->
+      if not once then print_string "\027[H\027[2J";
+      if prom then print_string body else render_live socket body;
+      flush stdout;
+      if once then 0
+      else begin
+        Unix.sleepf interval;
+        loop ()
+      end
+  in
+  loop ()
+
+(* --- bench trajectory ------------------------------------------------------------------ *)
+
+(* One headline line per committed BENCH_*.json: the repo's performance and
+   acceptance trajectory at a glance.  Known artifacts get a real extractor;
+   unknown ones still prove they parse.  A parse failure is an error exit so
+   `make check` catches a corrupted artifact. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let jlist j path = match Option.bind (jget j path) Json.to_list with Some l -> l | None -> []
+
+let best_speedup rows key =
+  List.fold_left (fun acc r -> Float.max acc (jfloat r [ key ])) 0. rows
+
+let bench_headline name j =
+  match name with
+  | "BENCH_modarith.json" ->
+    let rows = jlist j [ "results" ] in
+    let pows = List.filter (fun r -> jstr r [ "op" ] = "pow") rows in
+    Printf.sprintf "%d ops timed; best pow speedup x%.2f (Montgomery ctx vs naive)"
+      (List.length rows) (best_speedup pows "speedup")
+  | "BENCH_setup.json" ->
+    let rows = jlist j [ "prime_search" ] in
+    Printf.sprintf "%d prime-search ranges; best gated speedup x%.2f" (List.length rows)
+      (best_speedup rows "speedup")
+  | "BENCH_frontier.json" ->
+    let ps = jlist j [ "protocols" ] in
+    let sound =
+      List.for_all (fun p -> jfloat p [ "best"; "rate" ] <= jfloat p [ "bound" ]) ps
+    in
+    Printf.sprintf "%d protocols searched; best cheat rate %s the soundness bound on all"
+      (List.length ps)
+      (if sound then "within" else "ABOVE")
+  | "BENCH_serve.json" ->
+    Printf.sprintf
+      "%d/%d requests under chaos; availability %.2f%%; %.0f rps; p50/p99 %.1f/%.1f ms; \
+       bit_identical=%b"
+      (jint j [ "requests"; "completed" ])
+      (jint j [ "requests"; "sent" ])
+      (100. *. jfloat j [ "availability" ])
+      (jfloat j [ "throughput_rps" ])
+      (jfloat j [ "latency_ms"; "p50" ])
+      (jfloat j [ "latency_ms"; "p99" ])
+      (jget j [ "bit_identical" ] = Some (Json.Bool true))
+  | "BENCH_scale.json" ->
+    Printf.sprintf "n=%d; pls_tree %.0f nodes/s; apihash %.0f nodes/s; peak rss %.0f MB"
+      (jint j [ "n" ])
+      (jfloat j [ "pls_tree"; "nodes_per_sec" ])
+      (jfloat j [ "apihash"; "nodes_per_sec" ])
+      (jfloat j [ "peak_rss_mb" ])
+  | "BENCH_telemetry.json" ->
+    Printf.sprintf
+      "ledger_exact=%b under chaos (%d lost deltas counted); trace pids=%d; enabled overhead \
+       %.2f%%"
+      (jget j [ "ledger_exact" ] = Some (Json.Bool true))
+      (jint j [ "lost_deltas" ])
+      (jint j [ "trace"; "pids" ])
+      (jfloat j [ "overhead"; "overhead_pct" ])
+  | _ -> "(parsed OK; no summary extractor)"
+
+let bench_summary dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 11
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if files = [] then begin
+    Printf.printf "no BENCH_*.json artifacts in %s\n" dir;
+    0
+  end
+  else begin
+    Printf.printf "== bench trajectory (%s) ==\n" dir;
+    let failed = ref 0 in
+    List.iter
+      (fun f ->
+        match Json.parse (read_all (Filename.concat dir f)) with
+        | Error e ->
+          incr failed;
+          Printf.printf "%-24s PARSE ERROR: %s\n" f e
+        | Ok j ->
+          let mode = match jget j [ "mode" ] with Some (Json.Str m) -> m | _ -> "-" in
+          Printf.printf "%-24s %-6s %s\n" f mode (bench_headline f j))
+      files;
+    if !failed > 0 then begin
+      Printf.eprintf "ids-inspect: %d bench artifact(s) failed to parse\n" !failed;
+      1
+    end
+    else 0
+  end
+
 (* --- CLI ----------------------------------------------------------------------------- *)
 
-let run file protocol self follow =
+let run file protocol self follow live_flag socket interval once prom bench =
   if self then self_test ()
-  else if follow then follow_log file protocol
+  else
+    match bench with
+    | Some dir -> bench_summary dir
+    | None ->
+      if live_flag || prom then live socket interval once prom
+      else if follow then follow_log file protocol
   else if not (Sys.file_exists file) then begin
     Printf.printf "%s: no records yet\n" file;
     0
@@ -414,9 +631,45 @@ let cmd =
     in
     Arg.(value & flag & info [ "follow"; "f" ] ~doc)
   in
+  let live_t =
+    let doc =
+      "Live telemetry dashboard: poll a running ids-serve daemon's stats endpoint and \
+       render the service / per-protocol latency / per-shard ledger tables. Refreshes \
+       until interrupted (see $(b,--once), $(b,--interval))."
+    in
+    Arg.(value & flag & info [ "live" ] ~doc)
+  in
+  let socket_t =
+    let doc = "The daemon socket the live dashboard connects to." in
+    Arg.(value & opt string "ids_serve.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let interval_t =
+    let doc = "Live dashboard refresh period in seconds." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let once_t =
+    let doc = "Render the live dashboard once and exit (scripting / tests)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let prom_t =
+    let doc = "With $(b,--live): print the Prometheus text exposition instead of tables." in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let bench_t =
+    let doc =
+      "Summarize every committed BENCH_*.json artifact in $(docv) (default $(b,.)) as one \
+       trajectory table and exit; a non-parsing artifact is an error."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some ".") (some dir) None
+      & info [ "bench-summary" ] ~docv:"DIR" ~doc)
+  in
   let doc = "Inspect the machine-readable run log of the IDS bench harness" in
   Cmd.v
     (Cmd.info "ids-inspect" ~version:"1.0.0" ~doc)
-    Term.(const run $ file_t $ protocol_t $ self_t $ follow_t)
+    Term.(
+      const run $ file_t $ protocol_t $ self_t $ follow_t $ live_t $ socket_t $ interval_t
+      $ once_t $ prom_t $ bench_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,7 +19,8 @@ module Chaos = Ids_serve.Chaos
 module Supervisor = Ids_serve.Supervisor
 open Cmdliner
 
-let run socket workers queue retries restarts deadline_ms backoff_ms chaos log no_sync verbose =
+let run socket workers queue retries restarts deadline_ms backoff_ms chaos log no_sync verbose
+    telemetry trace =
   match
     let base = Server.of_env () in
     let opt v default = Option.value v ~default in
@@ -38,7 +39,9 @@ let run socket workers queue retries restarts deadline_ms backoff_ms chaos log n
         (match chaos with None -> base.Server.chaos | Some s -> Chaos.of_string s);
       log_path = opt log base.Server.log_path;
       log_sync = base.Server.log_sync && not no_sync;
-      verbose = base.Server.verbose || verbose
+      verbose = base.Server.verbose || verbose;
+      telemetry = base.Server.telemetry || telemetry;
+      trace_path = opt trace base.Server.trace_path
     }
   with
   | exception Invalid_argument e ->
@@ -96,11 +99,26 @@ let cmd =
     let doc = "Log worker lifecycle events to stderr." in
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
   in
+  let telemetry_t =
+    let doc =
+      "Run workers instrumented: per-request metric deltas are folded into the live telemetry \
+       registry (stats format=json/prom), records embed their metrics window, and ids-inspect \
+       --live has a ledger to show."
+    in
+    Arg.(value & flag & info [ "telemetry" ] ~doc)
+  in
+  let trace_t =
+    let doc =
+      "Write the merged cross-process Chrome trace (queue-wait, attempts, worker compute \
+       spans, stitched per trace id) to $(docv) on drain."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+  in
   let doc = "Serve IDS verification estimates from a supervised worker pool" in
   Cmd.v
     (Cmd.info "ids-serve" ~version:"1.0.0" ~doc)
     Term.(
       const run $ socket_t $ workers_t $ queue_t $ retries_t $ restarts_t $ deadline_t
-      $ backoff_t $ chaos_t $ log_t $ no_sync_t $ verbose_t)
+      $ backoff_t $ chaos_t $ log_t $ no_sync_t $ verbose_t $ telemetry_t $ trace_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,6 +9,17 @@ let enabled_flag =
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
+(* Process-epoch anchor.  [now_ns] is CLOCK_MONOTONIC with an unspecified
+   origin, so raw timestamps from two processes are only comparable because
+   the clock is machine-wide; what is NOT shared is any notion of "when this
+   process started".  [epoch] pins that: captured at module initialization,
+   re-captured on demand.  A forked worker inherits the parent's anchor, so
+   workers that ship spans relative to their own birth call [refresh_epoch]
+   first thing after the fork. *)
+let epoch = ref (now_ns ())
+let epoch_ns () = !epoch
+let refresh_epoch () = epoch := now_ns ()
+
 type span_record = {
   sname : string;
   sround : int;
@@ -108,34 +119,65 @@ let names : (int, string) Hashtbl.t = Hashtbl.create 32
 let next_id = ref 0
 let names_mu = Mutex.create ()
 
+(* Metric filter: which counters/histos stay live while instrumentation is
+   enabled.  [None] = everything (the IDS_TRACE deep-trace mode).  A worker
+   in service-telemetry mode keeps only the cheap wire-ledger prefixes
+   (e.g. ["net."]) so the inner-loop metrics (mont.redc ticks once per
+   modular reduction) cost nothing: each metric holds a [live] flag
+   recomputed when the filter changes, and the hot path pays one extra
+   dereference only when already enabled.  Spans are not filtered — the
+   span sites are all low-frequency. *)
+let filter : string list option ref = ref None
+
+let filter_matches name = function
+  | None -> true
+  | Some prefixes ->
+    List.exists
+      (fun p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+      prefixes
+
+let lives : (string * bool ref) list ref = ref []
+
+let set_metric_filter f =
+  Mutex.lock names_mu;
+  filter := f;
+  List.iter (fun (n, live) -> live := filter_matches n f) !lives;
+  Mutex.unlock names_mu
+
 let register name =
   Mutex.lock names_mu;
   let id = !next_id in
   incr next_id;
   Hashtbl.add names id name;
+  let live = ref (filter_matches name !filter) in
+  lives := (name, live) :: !lives;
   Mutex.unlock names_mu;
-  id
+  (id, live)
 
 module Counter = struct
-  type t = { id : int }
+  type t = { id : int; live : bool ref }
 
-  let make name = { id = register name }
+  let make name =
+    let id, live = register name in
+    { id; live }
 
   let add_cell c ~round ~node k =
-    if !enabled_flag then
+    if !enabled_flag && !(c.live) then
       let sh = shard () in
       bump sh sh.cells (pack c.id round node) k
 
   let add c k =
-    if !enabled_flag then
+    if !enabled_flag && !(c.live) then
       let sh = shard () in
       bump sh sh.cells (pack c.id (-1) (-1)) k
 end
 
 module Histo = struct
-  type t = { id : int }
+  type t = { id : int; live : bool ref }
 
-  let make name = { id = register name }
+  let make name =
+    let id, live = register name in
+    { id; live }
 
   let bit_length v =
     let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
@@ -144,7 +186,7 @@ module Histo = struct
   let bucket_of v = if v <= 0 then 0 else bit_length v
 
   let observe h v =
-    if !enabled_flag then
+    if !enabled_flag && !(h.live) then
       let sh = shard () in
       bump sh sh.hcells (pack h.id (bucket_of v) (-1)) 1
 end
@@ -176,8 +218,12 @@ let merge_cells field =
     (all_shards ());
   merged
 
-let snapshot () =
-  let merged = merge_cells (fun sh -> sh.cells) in
+let dropped_total () = List.fold_left (fun a sh -> a + sh.dropped) 0 (all_shards ())
+
+(* Build a snapshot from already-merged (or differenced) cell tables; the
+   public [snapshot] and the delta path [since] share this. *)
+let snapshot_of_tables ~cells ~hcells ~spans_dropped =
+  let merged = cells in
   (* Group cells by counter name (two registrations of one name merge). *)
   let by_name : (string, (int * int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.iter
@@ -208,7 +254,7 @@ let snapshot () =
       by_name []
     |> List.sort (fun a b -> compare a.cname b.cname)
   in
-  let hmerged = merge_cells (fun sh -> sh.hcells) in
+  let hmerged = hcells in
   let hby_name : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
   Hashtbl.iter
     (fun key count ->
@@ -224,8 +270,101 @@ let snapshot () =
       hby_name []
     |> List.sort (fun a b -> compare a.hname b.hname)
   in
-  let spans_dropped = List.fold_left (fun a sh -> a + sh.dropped) 0 (all_shards ()) in
   { counters; histos; spans_dropped }
+
+let snapshot () =
+  snapshot_of_tables
+    ~cells:(merge_cells (fun sh -> sh.cells))
+    ~hcells:(merge_cells (fun sh -> sh.hcells))
+    ~spans_dropped:(dropped_total ())
+
+(* --- delta windows ----------------------------------------------------------- *)
+
+(* A checkpoint is a deep copy of the merged cell tables.  Deltas are taken
+   at cell granularity — (counter, round, node) — rather than by subtracting
+   snapshots, because a snapshot's per-round [max_node] is a max over
+   cumulative cells and is not subtractable; differencing the cells first
+   makes every field of the resulting window snapshot exact for that
+   window. *)
+type checkpoint = {
+  ck_cells : (int, int) Hashtbl.t;
+  ck_hcells : (int, int) Hashtbl.t;
+  ck_dropped : int;
+}
+
+let checkpoint () =
+  { ck_cells = merge_cells (fun sh -> sh.cells);
+    ck_hcells = merge_cells (fun sh -> sh.hcells);
+    ck_dropped = dropped_total ();
+  }
+
+let table_diff cur prev =
+  let d = Hashtbl.create (Hashtbl.length cur) in
+  Hashtbl.iter
+    (fun key v ->
+      let before = Option.value (Hashtbl.find_opt prev key) ~default:0 in
+      if v <> before then Hashtbl.add d key (v - before))
+    cur;
+  d
+
+let since cp =
+  snapshot_of_tables
+    ~cells:(table_diff (merge_cells (fun sh -> sh.cells)) cp.ck_cells)
+    ~hcells:(table_diff (merge_cells (fun sh -> sh.hcells)) cp.ck_hcells)
+    ~spans_dropped:(dropped_total () - cp.ck_dropped)
+
+(* --- snapshot algebra -------------------------------------------------------- *)
+
+let empty = { counters = []; histos = []; spans_dropped = 0 }
+
+let merge_rounds ra rb =
+  let tbl : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let sum, mx = Option.value (Hashtbl.find_opt tbl r.round) ~default:(0, 0) in
+      Hashtbl.replace tbl r.round (sum + r.sum, Int.max mx r.max_node))
+    (ra @ rb);
+  Hashtbl.fold (fun round (sum, max_node) l -> { round; sum; max_node } :: l) tbl []
+  |> List.sort (fun a b -> compare a.round b.round)
+
+let merge_buckets ba bb =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (b, c) ->
+      Hashtbl.replace tbl b (Option.value (Hashtbl.find_opt tbl b) ~default:0 + c))
+    (ba @ bb);
+  Hashtbl.fold (fun b c l -> (b, c) :: l) tbl [] |> List.sort compare
+
+let merge a b =
+  let ctbl : (string, counter_snapshot) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      match Hashtbl.find_opt ctbl c.cname with
+      | None -> Hashtbl.replace ctbl c.cname c
+      | Some p ->
+        Hashtbl.replace ctbl c.cname
+          { cname = c.cname; total = p.total + c.total; rounds = merge_rounds p.rounds c.rounds })
+    (a.counters @ b.counters);
+  let htbl : (string, histo_snapshot) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun h ->
+      match Hashtbl.find_opt htbl h.hname with
+      | None -> Hashtbl.replace htbl h.hname h
+      | Some p ->
+        Hashtbl.replace htbl h.hname
+          { hname = h.hname; buckets = merge_buckets p.buckets h.buckets })
+    (a.histos @ b.histos);
+  { counters =
+      Hashtbl.fold (fun _ c l -> c :: l) ctbl [] |> List.sort (fun x y -> compare x.cname y.cname);
+    histos =
+      Hashtbl.fold (fun _ h l -> h :: l) htbl [] |> List.sort (fun x y -> compare x.hname y.hname);
+    spans_dropped = a.spans_dropped + b.spans_dropped
+  }
+
+let counter_total s name =
+  match List.find_opt (fun c -> c.cname = name) s.counters with
+  | Some c -> c.total
+  | None -> 0
 
 let spans () =
   let all =
@@ -250,6 +389,14 @@ let reset_metrics () =
     (fun sh ->
       Hashtbl.reset sh.cells;
       Hashtbl.reset sh.hcells)
+    (all_shards ())
+
+let reset_spans () =
+  List.iter
+    (fun sh ->
+      sh.sp <- [||];
+      sh.nsp <- 0;
+      sh.dropped <- 0)
     (all_shards ())
 
 let reset () =
@@ -294,3 +441,87 @@ let snapshot_json s =
     s.histos;
   Buffer.add_string buf (Printf.sprintf "],\"spans_dropped\":%d}" s.spans_dropped);
   Buffer.contents buf
+
+(* --- codecs ------------------------------------------------------------------ *)
+
+(* Inverse of [snapshot_json].  The reader is strict about shape (every
+   field of the writer must be present and well-typed) so a torn or
+   corrupted frame surfaces as [Error] at the boundary instead of a partial
+   snapshot polluting an aggregate. *)
+
+exception Bad of string
+
+let want what = function Some v -> v | None -> raise (Bad what)
+
+let snapshot_of_json j =
+  try
+    let counters =
+      want "counters" (Option.bind (Json.member "counters" j) Json.to_list)
+      |> List.map (fun c ->
+             { cname = want "counter name" (Option.bind (Json.member "name" c) Json.to_string);
+               total = want "counter total" (Option.bind (Json.member "total" c) Json.to_int);
+               rounds =
+                 want "counter rounds" (Option.bind (Json.member "rounds" c) Json.to_list)
+                 |> List.map (fun r ->
+                        match Option.map (List.map Json.to_int) (Json.to_list r) with
+                        | Some [ Some round; Some sum; Some max_node ] -> { round; sum; max_node }
+                        | _ -> raise (Bad "round row"))
+             })
+    in
+    let histos =
+      want "histos" (Option.bind (Json.member "histos" j) Json.to_list)
+      |> List.map (fun h ->
+             { hname = want "histo name" (Option.bind (Json.member "name" h) Json.to_string);
+               buckets =
+                 want "histo buckets" (Option.bind (Json.member "buckets" h) Json.to_list)
+                 |> List.map (fun b ->
+                        match Option.map (List.map Json.to_int) (Json.to_list b) with
+                        | Some [ Some bucket; Some count ] -> (bucket, count)
+                        | _ -> raise (Bad "bucket pair"))
+             })
+    in
+    let spans_dropped =
+      want "spans_dropped" (Option.bind (Json.member "spans_dropped" j) Json.to_int)
+    in
+    Ok { counters; histos; spans_dropped }
+  with Bad what -> Error (Printf.sprintf "snapshot: bad or missing %s" what)
+
+let snapshot_of_string s =
+  match Json.parse s with
+  | Error e -> Error ("snapshot: " ^ e)
+  | Ok j -> snapshot_of_json j
+
+(* Span wire codec: a JSON array of [[name, round, node, domain, start, dur]]
+   rows.  [spans_json ~epoch] stores start times relative to [epoch] (the
+   shipping process's anchor); [spans_of_json] returns them as stored — the
+   collector re-bases by adding the epoch that traveled with the frame. *)
+
+let spans_json ~epoch sps =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "[%S,%d,%d,%d,%d,%d]" s.sname s.sround s.snode s.sdomain
+           (s.start_ns - epoch) s.dur_ns))
+    sps;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let spans_of_json j =
+  try
+    Ok
+      (want "spans" (Json.to_list j)
+      |> List.map (fun row ->
+             match Json.to_list row with
+             | Some [ n; r; nd; d; t; u ] ->
+               { sname = want "span name" (Json.to_string n);
+                 sround = want "span round" (Json.to_int r);
+                 snode = want "span node" (Json.to_int nd);
+                 sdomain = want "span domain" (Json.to_int d);
+                 start_ns = want "span start" (Json.to_int t);
+                 dur_ns = want "span dur" (Json.to_int u)
+               }
+             | _ -> raise (Bad "span row")))
+  with Bad what -> Error (Printf.sprintf "spans: bad or missing %s" what)

@@ -29,8 +29,33 @@ val set_enabled : bool -> unit
 (** Override the environment gate (used by tests and the bench harness).
     Call from the main domain with no workers running. *)
 
+val set_metric_filter : string list option -> unit
+(** Restrict which counters and histograms stay live while enabled: [None]
+    (the default) keeps everything — the IDS_TRACE deep-trace mode; [Some
+    prefixes] keeps only metrics whose name starts with one of the
+    prefixes.  Service-telemetry workers run [Some ["net."]] so the
+    wire-ledger counters tick while the inner-loop instrumentation
+    (mont.redc fires once per modular reduction) stays free.  Spans are
+    never filtered — every span site is low-frequency.  Call from the main
+    domain with no workers running; already-recorded cells are kept. *)
+
 val now_ns : unit -> int
-(** Monotonic clock in nanoseconds (CLOCK_MONOTONIC; origin unspecified). *)
+(** Monotonic clock in nanoseconds (CLOCK_MONOTONIC; origin unspecified).
+    Timestamps from different processes on one machine share the clock but
+    not any per-process origin — see {!epoch_ns} for the anchor that makes
+    independently captured traces alignable. *)
+
+val epoch_ns : unit -> int
+(** The process-epoch anchor: the [now_ns] value captured when this module
+    was initialized (or at the last {!refresh_epoch}). Span start times
+    shipped across a process boundary are stored relative to the shipping
+    process's anchor; a collector re-bases them by adding the anchor that
+    traveled with them, yielding timestamps on the shared machine clock. *)
+
+val refresh_epoch : unit -> unit
+(** Re-capture the anchor. A forked worker inherits its parent's anchor;
+    call this first thing after the fork so spans are anchored at the
+    worker's own birth. *)
 
 val span : ?round:int -> ?node:int -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()] and, when tracing is on, records its wall-clock
@@ -100,6 +125,33 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Merge all shards' metrics. Call with no worker domains running. *)
 
+type checkpoint
+(** A deep copy of the merged metric cells at one instant, the base of a
+    delta window. *)
+
+val checkpoint : unit -> checkpoint
+(** Capture the current cells. Call with no worker domains running. *)
+
+val since : checkpoint -> snapshot
+(** The delta window from [checkpoint] to now, computed cell by cell —
+    every field, including per-round [max_node], is exact {e for the
+    window}. Do not call {!reset_metrics} / {!reset} between the checkpoint
+    and the delta; cells only grow otherwise. *)
+
+val empty : snapshot
+(** The identity of {!merge}. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Fold two snapshots name by name: counter totals, per-round sums,
+    histogram buckets, and [spans_dropped] add (exact under any fold
+    order); per-round [max_node] folds by max, which over deltas from one
+    process is a {e lower bound} on the true per-node peak (the same node
+    may contribute to several windows). The additive fields are the ledger;
+    the bound is advisory. *)
+
+val counter_total : snapshot -> string -> int
+(** Total of the named counter, 0 when absent. *)
+
 val spans : unit -> span_record list
 (** All recorded spans in canonical order (name, round, node, start time).
     Call with no worker domains running. *)
@@ -115,6 +167,12 @@ val reset_metrics : unit -> unit
     harness snapshots metrics per estimate while the trace accumulates for
     the whole process). Call with no worker domains running. *)
 
+val reset_spans : unit -> unit
+(** Drop recorded spans (and the dropped-span count), keeping metric cells.
+    Long-running workers call this between requests so the span buffer
+    never hits its cap; do it {e before} taking the next {!checkpoint} so
+    the dropped count stays monotone within each window. *)
+
 val reset : unit -> unit
 (** Clear everything and drop shards of joined domains. Call from the main
     domain with no workers running. *)
@@ -129,3 +187,20 @@ val snapshot_json : snapshot -> string
      "spans_dropped":0}
     v}
     Round rows are [[round, sum, max_node]]. *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!snapshot_json}. Strict: any missing or mistyped field is
+    an [Error], so a torn frame can never decode into a partial snapshot. *)
+
+val snapshot_of_string : string -> (snapshot, string) result
+(** [snapshot_of_json] composed with {!Json.parse}. *)
+
+val spans_json : epoch:int -> span_record list -> string
+(** Wire encoding of spans as a JSON array of
+    [[name, round, node, domain, start, dur]] rows, with start times stored
+    relative to [epoch] (normally {!epoch_ns}[ ()] of the shipping
+    process). *)
+
+val spans_of_json : Json.t -> (span_record list, string) result
+(** Inverse of {!spans_json}. Start times come back as stored (relative);
+    the collector re-bases by adding the epoch that traveled alongside. *)

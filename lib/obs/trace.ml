@@ -43,6 +43,110 @@ let write_file path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> to_channel oc)
 
+(* --- multi-process events ---------------------------------------------------- *)
+
+type ev = {
+  ename : string;
+  epid : int;
+  etid : int;
+  ets_ns : int;  (* absolute, on the shared machine clock *)
+  edur_ns : int;
+  eargs : (string * string) list;
+}
+
+let ev_of_span ~pid ~base_ns ?(args = []) (s : Obs.span_record) =
+  let args =
+    args
+    @ (if s.Obs.sround >= 0 then [ ("round", string_of_int s.Obs.sround) ] else [])
+    @ if s.Obs.snode >= 0 then [ ("node", string_of_int s.Obs.snode) ] else []
+  in
+  { ename = s.Obs.sname;
+    epid = pid;
+    etid = s.Obs.sdomain;
+    ets_ns = base_ns + s.Obs.start_ns;
+    edur_ns = s.Obs.dur_ns;
+    eargs = args
+  }
+
+let export_events oc evs =
+  let t0 = List.fold_left (fun acc e -> Int.min acc e.ets_ns) max_int evs in
+  let us ns = float_of_int ns /. 1000. in
+  output_string oc "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_char oc ',';
+      let args =
+        if e.eargs = [] then ""
+        else
+          ",\"args\":{"
+          ^ String.concat ","
+              (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) e.eargs)
+          ^ "}"
+      in
+      output_string oc
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d%s}"
+           (escape e.ename) (escape (category e.ename))
+           (us (e.ets_ns - t0))
+           (us e.edur_ns) e.epid e.etid args))
+    evs;
+  output_string oc "],\"displayTimeUnit\":\"ms\"}\n"
+
+let export_events_file path evs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> export_events oc evs)
+
+let events_of_file path =
+  let read_all ic =
+    let n = in_channel_length ic in
+    really_input_string ic n
+  in
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+    let s = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_all ic) in
+    match Json.parse s with
+    | Error e -> Error e
+    | Ok j -> (
+      match Option.bind (Json.member "traceEvents" j) Json.to_list with
+      | None -> Error "no traceEvents array"
+      | Some rows -> (
+        let ns_of_us f = int_of_float (f *. 1000. +. 0.5) in
+        let ev_of row =
+          let str k = Option.bind (Json.member k row) Json.to_string in
+          let num k = Option.bind (Json.member k row) Json.to_float in
+          match (str "name", num "ts", num "dur", Json.member "pid" row, Json.member "tid" row) with
+          | Some ename, Some ts, Some dur, Some pid, Some tid ->
+            let args =
+              match Json.member "args" row with
+              | Some (Json.Obj kvs) ->
+                List.filter_map
+                  (fun (k, v) ->
+                    match v with
+                    | Json.Str s -> Some (k, s)
+                    | Json.Num f ->
+                      Some
+                        ( k,
+                          if Float.is_integer f then string_of_int (int_of_float f)
+                          else string_of_float f )
+                    | _ -> None)
+                  kvs
+              | _ -> []
+            in
+            Some
+              { ename;
+                epid = Option.value (Json.to_int pid) ~default:0;
+                etid = Option.value (Json.to_int tid) ~default:0;
+                ets_ns = ns_of_us ts;
+                edur_ns = ns_of_us dur;
+                eargs = args
+              }
+          | _ -> None
+        in
+        match List.map ev_of rows with
+        | evs when List.for_all Option.is_some evs -> Ok (List.filter_map Fun.id evs)
+        | _ -> Error "malformed trace event")))
+
 let write_from_env ?(quiet = false) () =
   if not (Obs.enabled ()) then None
   else if Obs.spans () = [] then None

@@ -13,6 +13,43 @@ val to_channel : out_channel -> unit
 val write_file : string -> unit
 (** [write_file path] truncates [path] and writes the trace there. *)
 
+(** {2 Multi-process traces}
+
+    {!to_channel} exports the calling process's own spans under a fixed
+    pid. The event-level API below stitches spans {e from several
+    processes} into one trace: each event carries the real pid of the
+    process that recorded it, an absolute timestamp on the shared machine
+    clock (worker span starts, shipped relative to the worker's
+    {!Obs.epoch_ns} anchor, are re-based by adding that anchor back), and
+    free-form string args — which is where the [trace_id] /
+    [parent_span] linkage rides. *)
+
+type ev = {
+  ename : string;
+  epid : int;  (** the recording process *)
+  etid : int;  (** thread lane, usually the recording domain's id *)
+  ets_ns : int;  (** absolute nanoseconds on the shared machine clock *)
+  edur_ns : int;
+  eargs : (string * string) list;  (** e.g. [("trace_id", ...)] *)
+}
+
+val ev_of_span : pid:int -> base_ns:int -> ?args:(string * string) list -> Obs.span_record -> ev
+(** Re-base a shipped span onto the machine clock: [ets_ns = base_ns +
+    start_ns], where [base_ns] is the shipping process's epoch anchor and
+    [start_ns] is the relative value off the wire. Round/node labels are
+    appended to [args]. *)
+
+val export_events : out_channel -> ev list -> unit
+(** Write events as one Chrome trace object (timestamps re-origined to the
+    earliest event, rendered in microseconds). *)
+
+val export_events_file : string -> ev list -> unit
+
+val events_of_file : string -> (ev list, string) result
+(** Read a trace written by {!export_events} back (used by the E20 bench
+    and tests to validate merged traces). Numeric args come back as their
+    decimal rendering; sub-microsecond precision is rounding-limited. *)
+
 val write_from_env : ?quiet:bool -> unit -> string option
 (** When tracing is enabled and spans were recorded, write the trace to the
     path named by [IDS_TRACE_OUT] (default ["ids_trace.json"]; empty

@@ -3,6 +3,7 @@ module Adversary = Ids_proof.Adversary
 module Stats = Ids_proof.Stats
 module Engine = Ids_engine.Engine
 module Runlog = Ids_engine.Runlog
+module Obs = Ids_obs.Obs
 
 type entry = {
   protocol : string;
@@ -39,12 +40,24 @@ let find ~protocol ~strategy =
 
 let execute e ~trials ~fault = Engine.run ~domains:1 ~trials (fun seed -> e.run ~fault seed)
 
-let record_of e ~fault est =
+let record_of e ?metrics ~fault est =
   let fault_label = if Fault.is_none fault then None else Some (Fault.to_string fault) in
-  Runlog.to_json ?fault:fault_label ~protocol:e.protocol ~n:e.n
+  Runlog.to_json ?fault:fault_label ?metrics ~protocol:e.protocol ~n:e.n
     ~prover:(e.kind ^ ":" ^ e.strategy) est
 
 let execute_request ~protocol ~strategy ~trials ~fault =
   match find ~protocol ~strategy with
   | Error e -> Error e
-  | Ok entry -> Ok (record_of entry ~fault (execute entry ~trials ~fault))
+  | Ok entry ->
+    (* When the process runs instrumented (telemetry workers, IDS_TRACE),
+       embed the request's own metrics window in the record, same as [bench
+       est] and [Sweep.run] do — so bit-profile tables work on daemon logs.
+       The window is a checkpoint delta, not a snapshot-and-reset, because
+       a serving worker's ledger must keep accumulating across requests. *)
+    if Obs.enabled () then begin
+      let cp = Obs.checkpoint () in
+      let est = execute entry ~trials ~fault in
+      let metrics = Obs.snapshot_json (Obs.since cp) in
+      Ok (record_of entry ~metrics ~fault est)
+    end
+    else Ok (record_of entry ~fault (execute entry ~trials ~fault))

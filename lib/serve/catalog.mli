@@ -29,11 +29,12 @@ val execute : entry -> trials:int -> fault:Ids_network.Fault.spec -> Ids_engine.
 (** [Engine.run] over [seed = 1 .. trials], single-domain: bit-identical in
     every process that executes the same request. *)
 
-val record_of : entry -> fault:Ids_network.Fault.spec -> Ids_engine.Engine.estimate -> string
+val record_of :
+  entry -> ?metrics:string -> fault:Ids_network.Fault.spec -> Ids_engine.Engine.estimate -> string
 (** The Runlog-v3 record line for one executed request (prover labeled
-    [kind:strategy], fault label included when faults are injected) — the
-    wire payload, the daemon's log record, and the oracle's comparison
-    string. *)
+    [kind:strategy], fault label included when faults are injected,
+    [metrics] embeds a pre-rendered snapshot object) — the wire payload,
+    the daemon's log record, and the oracle's comparison string. *)
 
 val execute_request :
   protocol:string ->
@@ -42,4 +43,10 @@ val execute_request :
   fault:Ids_network.Fault.spec ->
   (string, string) result
 (** Lookup + execute + render: what a worker does with one request, and
-    what the bench replays in-process to check bit-identity. *)
+    what the bench replays in-process to check bit-identity. When the
+    process runs instrumented ({!Ids_obs.Obs.enabled}), the record embeds
+    the request's own metrics window (a checkpoint delta — the process
+    ledger keeps accumulating). The estimate itself is bit-identical either
+    way; records compared across differently-instrumented processes should
+    be compared net of the [metrics] field (cache-warmth counters such as
+    [memo.*] are process-history-dependent). *)

@@ -14,10 +14,22 @@
 
 type worker
 
-val spawn : ?chaos:Chaos.spec -> ?extra_close:Unix.file_descr list -> wid:int -> unit -> worker
+val spawn :
+  ?chaos:Chaos.spec ->
+  ?telemetry:bool ->
+  ?extra_close:Unix.file_descr list ->
+  wid:int ->
+  unit ->
+  worker
 (** Fork a worker into slot [wid]. The child closes [extra_close] (the
     parent's listening socket, client connections, other workers' pipes,
-    run-log fd) so it holds no descriptor it doesn't own. *)
+    run-log fd) so it holds no descriptor it doesn't own. With
+    [~telemetry:true] the child runs the engine instrumented
+    ({!Ids_obs.Obs.set_enabled}), refreshes its epoch anchor, and ships a
+    telemetry {!Request.frame} in every Estimated response plus a final
+    {!Request.Flush} on graceful EOF. Frame deltas chain checkpoint to
+    checkpoint, so the delivered frames telescope to the worker's full
+    metrics ledger. *)
 
 val wid : worker -> int
 val pid : worker -> int
@@ -41,10 +53,15 @@ val read : worker -> [ `Lines of string list | `Eof ]
 val kill : worker -> unit
 (** SIGKILL (deadline overrun). Idempotent; the reaper observes the death. *)
 
+val close_writer : worker -> unit
+(** Close only the request pipe (EOF to the worker), keeping the response
+    pipe open — the drain path does this first so a telemetry worker's exit
+    {!Request.Flush} can still be read. Idempotent. *)
+
 val shutdown : worker -> unit
 (** Close both pipes: a live worker exits cleanly on EOF (drain path). *)
 
-val worker_main : chaos:Chaos.spec -> Unix.file_descr -> Unix.file_descr -> 'a
+val worker_main : chaos:Chaos.spec -> ?telemetry:bool -> Unix.file_descr -> Unix.file_descr -> 'a
 (** The child's request loop (exposed for tests): reads requests from the
     first descriptor, writes responses to the second, [Unix._exit]s on EOF.
     Never returns. *)

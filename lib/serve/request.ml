@@ -1,5 +1,6 @@
 module Fault = Ids_network.Fault
 module Json = Ids_obs.Json
+module Obs = Ids_obs.Obs
 
 (* Same escaping as Runlog's writer: the wire is hand-emitted JSON lines. *)
 let escape s =
@@ -16,6 +17,8 @@ let escape s =
     s;
   Buffer.contents buf
 
+type stats_format = Basic | Json_full | Prom
+
 type op =
   | Estimate of {
       protocol : string;
@@ -23,31 +26,49 @@ type op =
       trials : int;
       fault : Fault.spec;
       kill_attempt : int option;
+      torn_attempt : int option;
     }
-  | Stats
+  | Stats of stats_format
   | Ping
 
-type t = { id : string; op : op }
+type t = { id : string; op : op; trace : (string * int) option }
 
-let make_estimate ?(fault = Fault.none) ?kill_attempt ~id ~protocol ~strategy ~trials () =
-  { id; op = Estimate { protocol; strategy; trials; fault; kill_attempt } }
+let make_estimate ?(fault = Fault.none) ?kill_attempt ?torn_attempt ?trace ~id ~protocol
+    ~strategy ~trials () =
+  { id; op = Estimate { protocol; strategy; trials; fault; kill_attempt; torn_attempt }; trace }
+
+let stats_format_name = function Basic -> "basic" | Json_full -> "json" | Prom -> "prom"
 
 let to_json ?attempt t =
   let attempt_field =
     match attempt with None -> "" | Some a -> Printf.sprintf ",\"attempt\":%d" a
   in
+  let trace_field =
+    match t.trace with
+    | None -> ""
+    | Some (tid, parent) ->
+      Printf.sprintf ",\"trace_id\":\"%s\",\"parent_span\":%d" (escape tid) parent
+  in
   match t.op with
-  | Ping -> Printf.sprintf "{\"op\":\"ping\",\"id\":\"%s\"%s}" (escape t.id) attempt_field
-  | Stats -> Printf.sprintf "{\"op\":\"stats\",\"id\":\"%s\"%s}" (escape t.id) attempt_field
-  | Estimate { protocol; strategy; trials; fault; kill_attempt } ->
+  | Ping -> Printf.sprintf "{\"op\":\"ping\",\"id\":\"%s\"%s%s}" (escape t.id) trace_field attempt_field
+  | Stats fmt ->
+    let fmt_field =
+      match fmt with Basic -> "" | f -> Printf.sprintf ",\"format\":\"%s\"" (stats_format_name f)
+    in
+    Printf.sprintf "{\"op\":\"stats\",\"id\":\"%s\"%s%s%s}" (escape t.id) fmt_field trace_field
+      attempt_field
+  | Estimate { protocol; strategy; trials; fault; kill_attempt; torn_attempt } ->
     let kill_field =
       match kill_attempt with None -> "" | Some a -> Printf.sprintf ",\"kill_attempt\":%d" a
     in
+    let torn_field =
+      match torn_attempt with None -> "" | Some a -> Printf.sprintf ",\"torn_attempt\":%d" a
+    in
     Printf.sprintf
-      "{\"op\":\"estimate\",\"id\":\"%s\",\"protocol\":\"%s\",\"strategy\":\"%s\",\"trials\":%d,\"fault\":\"%s\"%s%s}"
+      "{\"op\":\"estimate\",\"id\":\"%s\",\"protocol\":\"%s\",\"strategy\":\"%s\",\"trials\":%d,\"fault\":\"%s\"%s%s%s%s}"
       (escape t.id) (escape protocol) (escape strategy) trials
       (escape (Fault.to_string fault))
-      kill_field attempt_field
+      kill_field torn_field trace_field attempt_field
 
 let valid_id id =
   id <> "" && String.length id <= 200 && String.for_all (fun c -> Char.code c >= 0x20) id
@@ -65,10 +86,25 @@ let of_json j =
     let attempt = Option.value (Option.bind (Json.member "attempt" j) Json.to_int) ~default:1 in
     if attempt < 1 then Error "attempt must be >= 1"
     else
+      let* trace =
+        match Option.bind (Json.member "trace_id" j) Json.to_string with
+        | None -> Ok None
+        | Some tid -> (
+          if not (valid_id tid) then Error "invalid trace_id"
+          else
+            match Option.bind (Json.member "parent_span" j) Json.to_int with
+            | Some parent -> Ok (Some (tid, parent))
+            | None -> Error "trace_id without parent_span")
+      in
       let* op = field "op" Json.to_string in
       match op with
-      | "ping" -> Ok ({ id; op = Ping }, attempt)
-      | "stats" -> Ok ({ id; op = Stats }, attempt)
+      | "ping" -> Ok ({ id; op = Ping; trace }, attempt)
+      | "stats" -> (
+        match Option.bind (Json.member "format" j) Json.to_string with
+        | None | Some "basic" -> Ok ({ id; op = Stats Basic; trace }, attempt)
+        | Some "json" -> Ok ({ id; op = Stats Json_full; trace }, attempt)
+        | Some "prom" -> Ok ({ id; op = Stats Prom; trace }, attempt)
+        | Some f -> Error (Printf.sprintf "unknown stats format %S (basic, json, prom)" f))
       | "estimate" ->
         let* protocol = field "protocol" Json.to_string in
         let* strategy = field "strategy" Json.to_string in
@@ -84,33 +120,106 @@ let of_json j =
               | exception Invalid_argument m -> Error m)
           in
           let kill_attempt = Option.bind (Json.member "kill_attempt" j) Json.to_int in
-          Ok ({ id; op = Estimate { protocol; strategy; trials; fault; kill_attempt } }, attempt)
+          let torn_attempt = Option.bind (Json.member "torn_attempt" j) Json.to_int in
+          Ok
+            ( { id;
+                op = Estimate { protocol; strategy; trials; fault; kill_attempt; torn_attempt };
+                trace
+              },
+              attempt )
       | op -> Error (Printf.sprintf "unknown op %S (estimate, stats, ping)" op)
 
 let of_line line =
   match Json.parse line with Error e -> Error e | Ok j -> of_json j
+
+(* --- telemetry frames ----------------------------------------------------------- *)
+
+(* A frame is one worker's telemetry shipment: a metrics delta covering the
+   work since its previous frame, plus the serve-layer spans of that work
+   (start times relative to [fepoch_ns]).  Frames ride inside Estimated
+   responses and in the standalone Flush a worker emits on graceful exit;
+   because they are embedded in a single response line, a frame is either
+   delivered whole or (on a mid-write kill) not at all — there is no
+   partially-applied frame. *)
+type frame = {
+  fpid : int;
+  fseq : int;
+  fepoch_ns : int;
+  ftrace : (string * int) option;
+  fdelta : Obs.snapshot;
+  fspans : Obs.span_record list;
+}
+
+let frame_json f =
+  let trace_field =
+    match f.ftrace with
+    | None -> ""
+    | Some (tid, parent) ->
+      Printf.sprintf ",\"trace_id\":\"%s\",\"parent_span\":%d" (escape tid) parent
+  in
+  Printf.sprintf "{\"pid\":%d,\"seq\":%d,\"epoch_ns\":%d%s,\"delta\":%s,\"spans\":%s}" f.fpid
+    f.fseq f.fepoch_ns trace_field
+    (Obs.snapshot_json f.fdelta)
+    (Obs.spans_json ~epoch:0 f.fspans)
+
+let frame_of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "frame: missing or mistyped field %S" name)
+  in
+  let* fpid = field "pid" Json.to_int in
+  let* fseq = field "seq" Json.to_int in
+  let* fepoch_ns = field "epoch_ns" Json.to_int in
+  let ftrace =
+    match
+      ( Option.bind (Json.member "trace_id" j) Json.to_string,
+        Option.bind (Json.member "parent_span" j) Json.to_int )
+    with
+    | Some tid, Some parent -> Some (tid, parent)
+    | _ -> None
+  in
+  let* delta_j =
+    match Json.member "delta" j with Some d -> Ok d | None -> Error "frame: missing \"delta\""
+  in
+  let* fdelta = Obs.snapshot_of_json delta_j in
+  let* fspans =
+    match Json.member "spans" j with None -> Ok [] | Some s -> Obs.spans_of_json s
+  in
+  Ok { fpid; fseq; fepoch_ns; ftrace; fdelta; fspans }
 
 (* --- responses ----------------------------------------------------------------- *)
 
 type reject = Overloaded | Draining | Bad_request of string | Failed of string
 
 type response =
-  | Estimated of { id : string; attempts : int; record : string }
-  | Stats_reply of { id : string; stats : (string * int) list }
+  | Estimated of { id : string; attempts : int; record : string; telemetry : frame option }
+  | Stats_reply of { id : string; stats : (string * int) list; body : string option }
   | Pong of { id : string }
   | Rejected of { id : string; reject : reject }
+  | Flush of frame
 
 let response_id = function
   | Estimated { id; _ } | Stats_reply { id; _ } | Pong { id } | Rejected { id; _ } -> id
+  | Flush _ -> ""
 
 let response_to_json = function
-  | Estimated { id; attempts; record } ->
-    Printf.sprintf "{\"id\":\"%s\",\"status\":\"ok\",\"attempts\":%d,\"record\":\"%s\"}" (escape id)
-      attempts (escape record)
-  | Stats_reply { id; stats } ->
-    Printf.sprintf "{\"id\":\"%s\",\"status\":\"stats\",\"stats\":{%s}}" (escape id)
+  | Estimated { id; attempts; record; telemetry } ->
+    let telemetry_field =
+      match telemetry with None -> "" | Some f -> ",\"telemetry\":" ^ frame_json f
+    in
+    Printf.sprintf "{\"id\":\"%s\",\"status\":\"ok\",\"attempts\":%d,\"record\":\"%s\"%s}"
+      (escape id) attempts (escape record) telemetry_field
+  | Stats_reply { id; stats; body } ->
+    let body_field =
+      match body with None -> "" | Some b -> Printf.sprintf ",\"body\":\"%s\"" (escape b)
+    in
+    Printf.sprintf "{\"id\":\"%s\",\"status\":\"stats\",\"stats\":{%s}%s}" (escape id)
       (String.concat ","
          (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (escape k) v) stats))
+      body_field
+  | Flush f -> Printf.sprintf "{\"id\":\"\",\"status\":\"telemetry\",\"frame\":%s}" (frame_json f)
   | Pong { id } -> Printf.sprintf "{\"id\":\"%s\",\"status\":\"pong\"}" (escape id)
   | Rejected { id; reject } -> (
     let simple status = Printf.sprintf "{\"id\":\"%s\",\"status\":\"%s\"}" (escape id) status in
@@ -142,15 +251,25 @@ let response_of_line line =
     | "ok" ->
       let* attempts = field "attempts" Json.to_int in
       let* record = field "record" Json.to_string in
-      Ok (Estimated { id; attempts; record })
+      let* telemetry =
+        match Json.member "telemetry" j with
+        | None -> Ok None
+        | Some f -> Result.map Option.some (frame_of_json f)
+      in
+      Ok (Estimated { id; attempts; record; telemetry })
     | "stats" -> (
       match Json.member "stats" j with
       | Some (Json.Obj fields) ->
         let stats =
           List.filter_map (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int v)) fields
         in
-        Ok (Stats_reply { id; stats })
+        let body = Option.bind (Json.member "body" j) Json.to_string in
+        Ok (Stats_reply { id; stats; body })
       | _ -> Error "missing or mistyped field \"stats\"")
+    | "telemetry" -> (
+      match Json.member "frame" j with
+      | None -> Error "missing or mistyped field \"frame\""
+      | Some f -> Result.map (fun frame -> Flush frame) (frame_of_json f))
     | "pong" -> Ok (Pong { id })
     | "overloaded" -> Ok (Rejected { id; reject = Overloaded })
     | "draining" -> Ok (Rejected { id; reject = Draining })

@@ -11,14 +11,26 @@
     {v
     {"op":"estimate","id":"r1","protocol":"sym_dmam","strategy":"honest",
      "trials":20,"fault":"none"}
-    {"op":"stats","id":"s1"}
+    {"op":"stats","id":"s1","format":"json"}
     {"op":"ping","id":"p1"}
     v}
 
+    Every request may carry a trace context — ["trace_id"] plus
+    ["parent_span"] — which the daemon propagates on the worker hop so the
+    worker's spans land under the caller's trace. The daemon mints a
+    context of its own for requests that arrive without one.
+
     Responses carry the request's [id] and a [status]: ["ok"] (with
-    [attempts] and the [record]), ["stats"], ["pong"], or a rejection
-    (["overloaded"], ["draining"], ["bad_request"], ["failed"] — the last
-    two with an ["error"] message). *)
+    [attempts], the [record], and optionally a [telemetry] frame),
+    ["stats"], ["pong"], ["telemetry"] (a worker's exit {!Flush}; never
+    forwarded to clients), or a rejection (["overloaded"], ["draining"],
+    ["bad_request"], ["failed"] — the last two with an ["error"]
+    message). *)
+
+type stats_format =
+  | Basic  (** Supervisor counters only (the pre-telemetry reply). *)
+  | Json_full  (** Full telemetry document, see {!Telemetry.to_json}. *)
+  | Prom  (** Prometheus-style text exposition. *)
 
 type op =
   | Estimate of {
@@ -29,21 +41,32 @@ type op =
       kill_attempt : int option;
           (** Force the worker to die on exactly this attempt (tests and the
               smoke bench; the seeded injector is {!Chaos}). *)
+      torn_attempt : int option;
+          (** Force the worker to die {e mid-response-write} on exactly this
+              attempt: it emits roughly half the response line, then
+              SIGKILLs itself. Exercises the torn-frame path — the partial
+              line must never reach a parser and the lost telemetry delta
+              must be counted, not guessed. *)
     }
-  | Stats  (** Supervisor counters, answered by the daemon itself. *)
+  | Stats of stats_format  (** Answered by the daemon itself. *)
   | Ping
 
-type t = { id : string; op : op }
+type t = { id : string; op : op; trace : (string * int) option }
 
 val make_estimate :
   ?fault:Ids_network.Fault.spec ->
   ?kill_attempt:int ->
+  ?torn_attempt:int ->
+  ?trace:string * int ->
   id:string ->
   protocol:string ->
   strategy:string ->
   trials:int ->
   unit ->
   t
+
+val stats_format_name : stats_format -> string
+(** ["basic"], ["json"], ["prom"] — the wire names. *)
 
 val to_json : ?attempt:int -> t -> string
 (** One line, no trailing newline. [attempt] is only set on the
@@ -54,6 +77,23 @@ val of_line : string -> (t * int, string) result
 (** Parse + validate one request line; returns the request and its attempt
     number (1 when absent). Unknown ops, missing fields, bad fault specs,
     and non-positive trial counts are errors. *)
+
+type frame = {
+  fpid : int;  (** the worker process *)
+  fseq : int;  (** 1-based, per worker incarnation; gaps mean lost frames *)
+  fepoch_ns : int;  (** the worker's {!Ids_obs.Obs.epoch_ns} anchor *)
+  ftrace : (string * int) option;
+      (** echo of the request's trace context (absent on exit flushes) *)
+  fdelta : Ids_obs.Obs.snapshot;  (** metrics delta since the previous frame *)
+  fspans : Ids_obs.Obs.span_record list;
+      (** serve-layer spans with [start_ns] {e relative to} [fepoch_ns] *)
+}
+(** One worker telemetry shipment. Frames are embedded in single response
+    lines, so a mid-write kill loses the whole frame (a counted gap) rather
+    than delivering a corrupt one. *)
+
+val frame_json : frame -> string
+val frame_of_json : Ids_obs.Json.t -> (frame, string) result
 
 type reject =
   | Overloaded  (** Queue at bound: load shed, retry later. *)
@@ -66,10 +106,19 @@ type response =
       id : string;
       attempts : int;  (** Attempts consumed, 1 = no retry was needed. *)
       record : string;  (** The Runlog-v3 record line. *)
+      telemetry : frame option;  (** Present when the worker runs with telemetry. *)
     }
-  | Stats_reply of { id : string; stats : (string * int) list }
+  | Stats_reply of {
+      id : string;
+      stats : (string * int) list;
+      body : string option;  (** The [Json_full] / [Prom] exposition document. *)
+    }
   | Pong of { id : string }
   | Rejected of { id : string; reject : reject }
+  | Flush of frame
+      (** A worker's final delta, emitted on graceful exit (EOF on its
+          request pipe). Folded by the daemon, never sent to clients;
+          {!response_id} is [""]. *)
 
 val response_id : response -> string
 

@@ -1,4 +1,5 @@
 module Obs = Ids_obs.Obs
+module Trace = Ids_obs.Trace
 module Runlog = Ids_engine.Runlog
 
 let c_accepted = Obs.Counter.make "serve.accepted"
@@ -6,6 +7,7 @@ let c_shed = Obs.Counter.make "serve.shed"
 let c_retried = Obs.Counter.make "serve.retried"
 let c_timed_out = Obs.Counter.make "serve.timed_out"
 let c_crashes = Obs.Counter.make "serve.worker_crashes"
+let c_lost = Obs.Counter.make "telemetry.lost_deltas"
 let h_queue = Obs.Histo.make "serve.queue_depth"
 let h_latency = Obs.Histo.make "serve.latency_ms"
 
@@ -16,15 +18,22 @@ type config = {
   log_path : string;
   log_sync : bool;
   verbose : bool;
+  telemetry : bool;
+  trace_path : string;
 }
 
+(* [telemetry] defaults off: instrumented workers embed a [metrics] object
+   in their records, and the E18 byte-identity pin compares records against
+   an uninstrumented in-process oracle. *)
 let default =
   { socket = "ids_serve.sock";
     sup = Supervisor.default;
     chaos = Chaos.none;
     log_path = "ids_serve_runs.jsonl";
     log_sync = true;
-    verbose = false
+    verbose = false;
+    telemetry = false;
+    trace_path = ""
   }
 
 (* --- environment knobs ----------------------------------------------------------- *)
@@ -68,13 +77,31 @@ let of_env ?(base = default) () =
     log_path =
       (match Sys.getenv_opt "IDS_SERVE_LOG" with None -> base.log_path | Some p -> p);
     log_sync = bool_env "IDS_SERVE_SYNC" base.log_sync;
-    verbose = bool_env "IDS_SERVE_VERBOSE" base.verbose
+    verbose = bool_env "IDS_SERVE_VERBOSE" base.verbose;
+    telemetry = bool_env "IDS_SERVE_TELEMETRY" base.telemetry;
+    trace_path =
+      (match Sys.getenv_opt "IDS_SERVE_TRACE" with None -> base.trace_path | Some p -> p)
   }
 
 (* --- the event loop -------------------------------------------------------------- *)
 
 type client = { cfd : Unix.file_descr; cbuf : Buffer.t; mutable cclosed : bool }
-type pending = { preq : Request.t; pclient : client; pt0 : float }
+
+(* Per-request trace state: which trace the request belongs to, where its
+   current attempt is running, and the events stitched so far (server-side
+   queue-wait/attempt spans plus the worker's shipped spans, re-based). *)
+type rtrace = {
+  tr_id : string;
+  mutable tr_span : int;  (* parent-span id handed to the current attempt *)
+  mutable tr_wid : int;  (* -1 when not assigned *)
+  mutable tr_assign_ns : int;
+  mutable tr_submit_ns : int;
+  mutable tr_queue_s : float;  (* cumulative queue wait over attempts *)
+  mutable tr_run_s : float;  (* last completed attempt's worker time *)
+  mutable tr_evs : Trace.ev list;  (* newest first *)
+}
+
+type pending = { preq : Request.t; pclient : client; pt0 : float; ptr : rtrace }
 
 (* Monotonic seconds: deadlines must not jump with wall-clock adjustments. *)
 let now () = float_of_int (Obs.now_ns ()) /. 1e9
@@ -153,6 +180,59 @@ let run cfg =
         let stopped = ref false in
         let listening = ref true in
         let drain_posted = ref false in
+        let boot = now () in
+
+        (* The telemetry plane: worker frames fold here; request latencies
+           and trace events are recorded here regardless of [telemetry], so
+           the stats endpoint always has latency tables (the ledger stays
+           empty unless workers ship deltas). *)
+        let reg = Telemetry.create ~workers:scfg.Supervisor.workers in
+        let tracing = cfg.trace_path <> "" in
+        let trace_buf : Trace.ev list ref = ref [] in
+        let trace_cap = 65536 in
+        let trace_len = ref 0 in
+        let trace_dropped = ref 0 in
+        let keep_evs evs =
+          if tracing then
+            List.iter
+              (fun ev ->
+                if !trace_len >= trace_cap then incr trace_dropped
+                else begin
+                  trace_buf := ev :: !trace_buf;
+                  incr trace_len
+                end)
+              evs
+        in
+        let span_ctr = ref 0 in
+        let next_span () =
+          incr span_ctr;
+          !span_ctr
+        in
+        let trace_ctr = ref 0 in
+        let mint_trace_id () =
+          incr trace_ctr;
+          Printf.sprintf "t%d-%d" (Unix.getpid ()) !trace_ctr
+        in
+        let mk_rtrace req =
+          let tr_id =
+            match req.Request.trace with Some (tid, _) -> tid | None -> mint_trace_id ()
+          in
+          { tr_id;
+            tr_span = 0;
+            tr_wid = -1;
+            tr_assign_ns = 0;
+            tr_submit_ns = Obs.now_ns ();
+            tr_queue_s = 0.;
+            tr_run_s = 0.;
+            tr_evs = []
+          }
+        in
+        let ev ~name ~pid ~tid ~ts_ns ~dur_ns args =
+          { Trace.ename = name; epid = pid; etid = tid; ets_ns = ts_ns; edur_ns = dur_ns;
+            eargs = args
+          }
+        in
+        let self_pid = Unix.getpid () in
 
         (* Signals only write one byte to the self-pipe; all real work happens
            in the select loop. *)
@@ -207,10 +287,38 @@ let run cfg =
           !acc
         in
         let spawn_into wid =
-          let w = Pool.spawn ~chaos:cfg.chaos ~extra_close:(extra_close ()) ~wid () in
+          let w =
+            Pool.spawn ~chaos:cfg.chaos ~telemetry:cfg.telemetry ~extra_close:(extra_close ())
+              ~wid ()
+          in
           workers.(wid) <- Some w;
           Hashtbl.replace pid2wid (Pool.pid w) wid;
           logf "worker %d spawned (pid %d)" wid (Pool.pid w)
+        in
+
+        let protocol_of p =
+          match p.preq.Request.op with
+          | Request.Estimate { protocol; _ } -> protocol
+          | Request.Stats _ | Request.Ping -> "-"
+        in
+        (* Close the books on one request: the root span and the
+           per-protocol latency tables. *)
+        let finalize p ~ok ~attempts =
+          let tr = p.ptr in
+          let now_ns = Obs.now_ns () in
+          keep_evs
+            [ ev ~name:"serve.request" ~pid:self_pid ~tid:0 ~ts_ns:tr.tr_submit_ns
+                ~dur_ns:(now_ns - tr.tr_submit_ns)
+                [ ("trace_id", tr.tr_id);
+                  ("protocol", protocol_of p);
+                  ("attempts", string_of_int attempts);
+                  ("outcome", (if ok then "ok" else "rejected"))
+                ]
+            ];
+          Telemetry.on_request reg ~protocol:(protocol_of p) ~attempts ~queue_s:tr.tr_queue_s
+            ~run_s:tr.tr_run_s
+            ~total_s:(float_of_int (now_ns - tr.tr_submit_ns) /. 1e9)
+            ~ok
         in
 
         let finish req_id =
@@ -234,6 +342,10 @@ let run cfg =
                   (Unix.error_message e))
             | _ -> ());
             Obs.Histo.observe h_latency (int_of_float ((now () -. p.pt0) *. 1000.));
+            let ok, attempts =
+              match resp with Request.Estimated { attempts; _ } -> (true, attempts) | _ -> (false, 1)
+            in
+            finalize p ~ok ~attempts;
             respond p.pclient resp
         in
         let reject req_id rej =
@@ -242,15 +354,31 @@ let run cfg =
           | Some p ->
             Hashtbl.remove pending req_id;
             Hashtbl.remove resp_by_id req_id;
+            finalize p ~ok:false ~attempts:1;
             respond p.pclient (Request.Rejected { id = req_id; reject = rej })
         in
         let do_action = function
-          | Supervisor.Assign { worker; req; attempt; deadline = _ } -> (
+          | Supervisor.Assign { worker; req; attempt; deadline = _; queued_for } -> (
             match (workers.(worker), Hashtbl.find_opt pending req) with
             | Some w, Some p ->
+              let tr = p.ptr in
+              let now_ns = Obs.now_ns () in
+              let wait_ns = int_of_float (queued_for *. 1e9) in
+              tr.tr_queue_s <- tr.tr_queue_s +. queued_for;
+              keep_evs
+                [ ev ~name:"serve.queue_wait" ~pid:self_pid ~tid:0 ~ts_ns:(now_ns - wait_ns)
+                    ~dur_ns:wait_ns
+                    [ ("trace_id", tr.tr_id); ("attempt", string_of_int attempt) ]
+                ];
+              tr.tr_span <- next_span ();
+              tr.tr_wid <- worker;
+              tr.tr_assign_ns <- now_ns;
               (* A send to a just-died worker fails silently; the Crashed event
                  already en route schedules the retry. *)
-              ignore (Pool.send w ~attempt p.preq : bool)
+              ignore
+                (Pool.send w ~attempt
+                   { p.preq with Request.trace = Some (tr.tr_id, tr.tr_span) }
+                  : bool)
             | _ -> ())
           | Supervisor.Spawn wid ->
             spawn_into wid;
@@ -295,9 +423,22 @@ let run cfg =
           | Ok (req, _) -> (
             match req.Request.op with
             | Request.Ping -> respond c (Request.Pong { id = req.Request.id })
-            | Request.Stats ->
-              respond c
-                (Request.Stats_reply { id = req.Request.id; stats = Supervisor.stats sup })
+            | Request.Stats fmt ->
+              let service = Supervisor.stats sup in
+              let stats =
+                service
+                @ [ ("telemetry_frames", Telemetry.frames reg);
+                    ("lost_deltas", Telemetry.lost_deltas reg)
+                  ]
+              in
+              let uptime_s = now () -. boot in
+              let body =
+                match fmt with
+                | Request.Basic -> None
+                | Request.Json_full -> Some (Telemetry.to_json reg ~service ~uptime_s)
+                | Request.Prom -> Some (Telemetry.to_prometheus reg ~service ~uptime_s)
+              in
+              respond c (Request.Stats_reply { id = req.Request.id; stats; body })
             | Request.Estimate { protocol; strategy; _ } ->
               let id = req.Request.id in
               if Hashtbl.mem pending id then
@@ -310,7 +451,8 @@ let run cfg =
                 match Catalog.find ~protocol ~strategy with
                 | Error e -> respond c (Request.Rejected { id; reject = Request.Bad_request e })
                 | Ok _ ->
-                  Hashtbl.replace pending id { preq = req; pclient = c; pt0 = now () };
+                  Hashtbl.replace pending id
+                    { preq = req; pclient = c; pt0 = now (); ptr = mk_rtrace req };
                   post (Supervisor.Submit id)))
         in
         let read_client c =
@@ -332,9 +474,43 @@ let run cfg =
           if !listening then go ()
         in
 
+        (* Worker lines: exit flushes fold straight into the registry;
+           Estimated responses fold their frame (exactly once per delivered
+           line) and stitch the worker's shipped spans into the request's
+           trace, re-based from the worker's epoch anchor back onto the
+           shared machine clock. *)
         let handle_worker_line wid line =
           match Request.response_of_line line with
+          | Ok (Request.Flush f) ->
+            logf "worker %d: exit flush (seq %d)" wid f.Request.fseq;
+            Telemetry.on_flush reg ~wid f
           | Ok resp ->
+            (match resp with
+            | Request.Estimated { id; telemetry = Some f; _ } ->
+              Telemetry.on_frame reg ~wid f;
+              (match Hashtbl.find_opt pending id with
+              | Some p ->
+                let tr = p.ptr in
+                tr.tr_run_s <- float_of_int (Obs.now_ns () - tr.tr_assign_ns) /. 1e9;
+                tr.tr_wid <- -1;
+                keep_evs
+                  (List.map
+                     (fun s ->
+                       Trace.ev_of_span ~pid:f.Request.fpid ~base_ns:f.Request.fepoch_ns
+                         ~args:
+                           [ ("trace_id", tr.tr_id);
+                             ("parent_span", string_of_int tr.tr_span)
+                           ]
+                         s)
+                     f.Request.fspans)
+              | None -> ())
+            | Request.Estimated { id; telemetry = None; _ } -> (
+              match Hashtbl.find_opt pending id with
+              | Some p ->
+                p.ptr.tr_run_s <- float_of_int (Obs.now_ns () - p.ptr.tr_assign_ns) /. 1e9;
+                p.ptr.tr_wid <- -1
+              | None -> ())
+            | _ -> ());
             Hashtbl.replace resp_by_id (Request.response_id resp) resp;
             post (Supervisor.Done wid)
           | Error e -> logf "worker %d: unparsable response (%s)" wid e
@@ -348,6 +524,26 @@ let run cfg =
             (match Pool.read w with
             | `Lines lines -> List.iter (handle_worker_line wid) lines
             | `Eof -> ());
+            (* Any request still assigned here whose response was not
+               salvaged died with its telemetry window: count the gap. *)
+            Hashtbl.iter
+              (fun req_id p ->
+                let tr = p.ptr in
+                if tr.tr_wid = wid && not (Hashtbl.mem resp_by_id req_id) then begin
+                  tr.tr_wid <- -1;
+                  if cfg.telemetry then begin
+                    Telemetry.on_lost reg ~wid;
+                    Obs.Counter.add c_lost 1
+                  end;
+                  let now_ns = Obs.now_ns () in
+                  keep_evs
+                    [ ev ~name:"serve.attempt_crashed" ~pid:self_pid ~tid:0
+                        ~ts_ns:tr.tr_assign_ns
+                        ~dur_ns:(now_ns - tr.tr_assign_ns)
+                        [ ("trace_id", tr.tr_id); ("wid", string_of_int wid) ]
+                    ]
+                end)
+              pending;
             Hashtbl.remove pid2wid (Pool.pid w);
             Pool.shutdown w;
             workers.(wid) <- None;
@@ -454,8 +650,32 @@ let run cfg =
           process_all ()
         done;
 
-        (* Drained: close worker pipes (EOF = clean exit), reap everything,
-           release the socket and the log. *)
+        (* Drained: EOF the workers' request pipes (clean exit); telemetry
+           workers answer with a final Flush frame first, so keep the
+           response pipes open and fold those before closing up. *)
+        Array.iter (function Some w -> Pool.close_writer w | None -> ()) workers;
+        let flush_deadline = now () +. 5. in
+        let rec collect_flushes () =
+          let wpairs = worker_fd_pairs () in
+          if wpairs <> [] && now () < flush_deadline then begin
+            (match Unix.select (List.map fst wpairs) [] [] 0.25 with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | ready, _, _ ->
+              List.iter
+                (fun fd ->
+                  match List.find_opt (fun (rfd, _) -> rfd = fd) wpairs with
+                  | Some (_, w) -> (
+                    match Pool.read w with
+                    | `Lines lines -> List.iter (handle_worker_line (Pool.wid w)) lines
+                    | `Eof ->
+                      Pool.shutdown w;
+                      workers.(Pool.wid w) <- None)
+                  | None -> ())
+                ready);
+            collect_flushes ()
+          end
+        in
+        if cfg.telemetry then collect_flushes ();
         Array.iter (function Some w -> Pool.shutdown w | None -> ()) workers;
         let rec reap_all () =
           match Unix.waitpid [] (-1) with
@@ -464,6 +684,14 @@ let run cfg =
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap_all ()
         in
         reap_all ();
+        if tracing then begin
+          (match Trace.export_events_file cfg.trace_path (List.rev !trace_buf) with
+          | () ->
+            logf "trace: %d events written to %s%s" !trace_len cfg.trace_path
+              (if !trace_dropped > 0 then Printf.sprintf " (%d dropped)" !trace_dropped else "")
+          | exception Sys_error e ->
+            Printf.eprintf "[ids_serve] trace export failed: %s\n%!" e)
+        end;
         List.iter close_client !clients;
         if !listening then begin
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());

@@ -28,11 +28,23 @@ type config = {
   log_path : string;  (** Framed crash-safe run log; [""] disables. *)
   log_sync : bool;  (** fsync each record (the crash-safety guarantee). *)
   verbose : bool;
+  telemetry : bool;
+      (** Run workers instrumented: every Estimated response carries a
+          {!Request.frame} metrics delta (folded into the {!Telemetry}
+          registry), records embed their [metrics] window, and workers
+          flush a final frame on graceful exit. Off by default — the E18
+          byte-identity pin compares records against an uninstrumented
+          oracle. *)
+  trace_path : string;
+      (** Where to write the merged cross-process Chrome trace on drain
+          ([""] disables): queue-wait / attempt / crash spans from the
+          server plus every worker's shipped compute spans, stitched under
+          per-request trace ids. *)
 }
 
 val default : config
 (** Socket [ids_serve.sock], log [ids_serve_runs.jsonl], {!Supervisor.default},
-    no chaos, synced log, quiet. *)
+    no chaos, synced log, quiet, telemetry off, no trace. *)
 
 val of_env : ?base:config -> unit -> config
 (** [base] (default {!default}) overridden by the [IDS_SERVE_*] environment
@@ -40,7 +52,9 @@ val of_env : ?base:config -> unit -> config
     [IDS_SERVE_RETRIES] (max attempts), [IDS_SERVE_RESTARTS],
     [IDS_SERVE_DEADLINE_MS], [IDS_SERVE_BACKOFF_MS] (base delay),
     [IDS_SERVE_CHAOS] ({!Chaos.of_string} format), [IDS_SERVE_LOG] (empty
-    disables), [IDS_SERVE_SYNC] ([0] = no fsync), [IDS_SERVE_VERBOSE].
+    disables), [IDS_SERVE_SYNC] ([0] = no fsync), [IDS_SERVE_VERBOSE],
+    [IDS_SERVE_TELEMETRY] ([0] = off), [IDS_SERVE_TRACE] (merged trace
+    path; empty disables).
     @raise Invalid_argument on an unparsable knob. *)
 
 val run : config -> (unit, string) result

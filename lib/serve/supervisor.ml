@@ -40,7 +40,13 @@ let backoff_delay c ~failures =
 type event = Submit of string | Done of int | Crashed of int | Spawned of int | Tick | Drain
 
 type action =
-  | Assign of { worker : int; req : string; attempt : int; deadline : float option }
+  | Assign of {
+      worker : int;
+      req : string;
+      attempt : int;
+      deadline : float option;
+      queued_for : float;
+    }
   | Spawn of int
   | Kill of { worker : int; req : string }
   | Complete of { req : string; attempts : int }
@@ -69,7 +75,9 @@ type wstate =
   | Respawning
   | Dead
 
-type queued = { q_req : string; q_attempt : int; eligible : float }
+(* [q_enq] stamps when the request (re-)entered the queue; the wait reported
+   on Assign is measured from it, so retry backoff counts as queue wait. *)
+type queued = { q_req : string; q_attempt : int; eligible : float; q_enq : float }
 
 type t = {
   cfg : config;
@@ -126,7 +134,15 @@ let dispatch t ~now acc =
         t.queue <- rest;
         let deadline = if t.cfg.deadline > 0. then Some (now +. t.cfg.deadline) else None in
         t.slots.(!idle) <- Busy { req = q.q_req; attempt = q.q_attempt; deadline };
-        acc := Assign { worker = !idle; req = q.q_req; attempt = q.q_attempt; deadline } :: !acc
+        acc :=
+          Assign
+            { worker = !idle;
+              req = q.q_req;
+              attempt = q.q_attempt;
+              deadline;
+              queued_for = Float.max 0. (now -. q.q_enq)
+            }
+          :: !acc
   done;
   !acc
 
@@ -154,7 +170,8 @@ let retry_or_fail t ~now ~req ~attempt acc =
       t.queue
       @ [ { q_req = req;
             q_attempt = attempt + 1;
-            eligible = now +. backoff_delay t.cfg ~failures:attempt
+            eligible = now +. backoff_delay t.cfg ~failures:attempt;
+            q_enq = now
           }
         ];
     acc
@@ -198,7 +215,7 @@ let step t ~now ev =
         end
         else begin
           t.c <- { t.c with accepted = t.c.accepted + 1 };
-          t.queue <- t.queue @ [ { q_req = req; q_attempt = 1; eligible = now } ];
+          t.queue <- t.queue @ [ { q_req = req; q_attempt = 1; eligible = now; q_enq = now } ];
           acc
         end
       | Done wid -> (

@@ -62,7 +62,17 @@ type event =
   | Drain  (** SIGTERM: stop accepting, finish in-flight, then stop. *)
 
 type action =
-  | Assign of { worker : int; req : string; attempt : int; deadline : float option }
+  | Assign of {
+      worker : int;
+      req : string;
+      attempt : int;
+      deadline : float option;
+      queued_for : float;
+          (** Seconds this attempt waited in the queue, measured from its
+              (re-)enqueue — retry backoff counts as queue wait. The
+              telemetry plane's queue-wait histograms and spans are fed
+              from this stamp. *)
+    }
       (** Send the request to the worker; [deadline] is absolute time. *)
   | Spawn of int  (** Fork a replacement into this slot, then feed {!Spawned}. *)
   | Kill of { worker : int; req : string }

@@ -1,0 +1,230 @@
+module Obs = Ids_obs.Obs
+
+(* --- latency histograms ---------------------------------------------------------
+
+   Same log-2 bucketing as Obs.Histo, but over microseconds and owned by the
+   server loop (single writer, no shards needed), with count and sum kept
+   exactly so means are exact and only the quantiles are bucket-granular. *)
+
+type hist = { mutable count : int; mutable sum_us : int; buckets : int array }
+
+let hist () = { count = 0; sum_us = 0; buckets = Array.make 64 0 }
+
+let observe_us h us =
+  let us = Int.max 0 us in
+  h.count <- h.count + 1;
+  h.sum_us <- h.sum_us + us;
+  let b = Obs.Histo.bucket_of us in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let observe_s h s = observe_us h (int_of_float (s *. 1e6))
+
+(* Upper bound of the smallest bucket prefix holding >= q of the mass: the
+   reported pXX is "no observation in the quantile exceeded this", at
+   power-of-two granularity. *)
+let quantile_us h q =
+  if h.count = 0 then 0.
+  else begin
+    let need = int_of_float (ceil (q *. float_of_int h.count)) in
+    let need = Int.max 1 need in
+    let acc = ref 0 and b = ref 0 in
+    (try
+       for i = 0 to Array.length h.buckets - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= need then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !b = 0 then 1. else Float.of_int (1 lsl !b)
+  end
+
+let mean_us h = if h.count = 0 then 0. else float_of_int h.sum_us /. float_of_int h.count
+
+(* --- per-shard fold -------------------------------------------------------------- *)
+
+type shard = {
+  swid : int;
+  mutable spid : int;
+  mutable sgenerations : int;  (* distinct worker incarnations seen *)
+  mutable sframes : int;
+  mutable sseq : int;  (* last frame seq folded for the current pid *)
+  mutable slost : int;  (* counted delta gaps: crashes + seq holes *)
+  mutable sledger : Obs.snapshot;
+}
+
+type proto = {
+  mutable completed : int;
+  mutable failed : int;
+  mutable retries : int;  (* attempts beyond each request's first *)
+  q : hist;  (* queue wait *)
+  r : hist;  (* worker run (last attempt) *)
+  tot : hist;  (* submit -> response *)
+}
+
+type t = { shards : shard array; protos : (string, proto) Hashtbl.t; mutable flushes : int }
+
+let create ~workers =
+  { shards =
+      Array.init workers (fun swid ->
+          { swid;
+            spid = 0;
+            sgenerations = 0;
+            sframes = 0;
+            sseq = 0;
+            slost = 0;
+            sledger = Obs.empty
+          });
+    protos = Hashtbl.create 8;
+    flushes = 0
+  }
+
+let proto_of t name =
+  match Hashtbl.find_opt t.protos name with
+  | Some p -> p
+  | None ->
+    let p = { completed = 0; failed = 0; retries = 0; q = hist (); r = hist (); tot = hist () } in
+    Hashtbl.add t.protos name p;
+    p
+
+let on_frame t ~wid (f : Request.frame) =
+  let s = t.shards.(wid) in
+  if f.Request.fpid <> s.spid then begin
+    (* New worker incarnation: its frame chain restarts at 1. *)
+    s.spid <- f.Request.fpid;
+    s.sgenerations <- s.sgenerations + 1;
+    s.sseq <- 0
+  end;
+  (* A hole in the sequence is a frame that was produced but never arrived
+     — count it as lost rather than pretending continuity. *)
+  if f.Request.fseq > s.sseq + 1 then s.slost <- s.slost + (f.Request.fseq - s.sseq - 1);
+  s.sseq <- Int.max s.sseq f.Request.fseq;
+  s.sframes <- s.sframes + 1;
+  s.sledger <- Obs.merge s.sledger f.Request.fdelta
+
+let on_flush t ~wid f =
+  t.flushes <- t.flushes + 1;
+  on_frame t ~wid f
+
+let on_lost t ~wid =
+  let s = t.shards.(wid) in
+  s.slost <- s.slost + 1
+
+let on_request t ~protocol ~attempts ~queue_s ~run_s ~total_s ~ok =
+  let p = proto_of t protocol in
+  if ok then p.completed <- p.completed + 1 else p.failed <- p.failed + 1;
+  p.retries <- p.retries + Int.max 0 (attempts - 1);
+  observe_s p.q queue_s;
+  if ok then observe_s p.r run_s;
+  observe_s p.tot total_s
+
+let lost_deltas t = Array.fold_left (fun acc s -> acc + s.slost) 0 t.shards
+let frames t = Array.fold_left (fun acc s -> acc + s.sframes) 0 t.shards
+let merged t = Array.fold_left (fun acc s -> Obs.merge acc s.sledger) Obs.empty t.shards
+
+(* --- exposition ------------------------------------------------------------------ *)
+
+let availability service =
+  let get k = Option.value (List.assoc_opt k service) ~default:0 in
+  let completed = get "completed" and rejected = get "rejected" in
+  if completed + rejected = 0 then 1.
+  else float_of_int completed /. float_of_int (completed + rejected)
+
+let sorted_protos t =
+  Hashtbl.fold (fun name p acc -> (name, p) :: acc) t.protos []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let ms f = f /. 1000.
+
+let hist_json h =
+  Printf.sprintf "{\"count\":%d,\"mean\":%.3f,\"p50\":%.3f,\"p99\":%.3f}" h.count
+    (ms (mean_us h))
+    (ms (quantile_us h 0.50))
+    (ms (quantile_us h 0.99))
+
+let to_json t ~service ~uptime_s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"uptime_s\":%.3f,\"availability\":%.4f,\"lost_deltas\":%d,\"frames\":%d,\"flushes\":%d"
+       uptime_s (availability service) (lost_deltas t) (frames t) t.flushes);
+  Buffer.add_string buf ",\"service\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" k v))
+    service;
+  Buffer.add_string buf "},\"protocols\":[";
+  List.iteri
+    (fun i (name, p) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"protocol\":\"%s\",\"completed\":%d,\"failed\":%d,\"retries\":%d,\"queue_ms\":%s,\"run_ms\":%s,\"total_ms\":%s}"
+           name p.completed p.failed p.retries (hist_json p.q) (hist_json p.r) (hist_json p.tot)))
+    (sorted_protos t);
+  Buffer.add_string buf "],\"shards\":[";
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"wid\":%d,\"pid\":%d,\"generations\":%d,\"frames\":%d,\"lost_deltas\":%d,\"counters\":{%s}}"
+           s.swid s.spid s.sgenerations s.sframes s.slost
+           (String.concat ","
+              (List.map
+                 (fun (c : Obs.counter_snapshot) ->
+                   Printf.sprintf "\"%s\":%d" c.Obs.cname c.Obs.total)
+                 s.sledger.Obs.counters))))
+    t.shards;
+  Buffer.add_string buf "],\"ledger\":";
+  Buffer.add_string buf (Obs.snapshot_json (merged t));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_prometheus t ~service ~uptime_s =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "# TYPE ids_uptime_seconds gauge";
+  line "ids_uptime_seconds %.3f" uptime_s;
+  line "# TYPE ids_availability gauge";
+  line "ids_availability %.4f" (availability service);
+  line "# TYPE ids_serve_events_total counter";
+  List.iter (fun (k, v) -> line "ids_serve_events_total{event=\"%s\"} %d" k v) service;
+  line "# TYPE ids_telemetry_lost_deltas_total counter";
+  line "ids_telemetry_lost_deltas_total %d" (lost_deltas t);
+  line "# TYPE ids_shard_frames_total counter";
+  Array.iter (fun s -> line "ids_shard_frames_total{wid=\"%d\"} %d" s.swid s.sframes) t.shards;
+  line "# TYPE ids_shard_lost_deltas_total counter";
+  Array.iter (fun s -> line "ids_shard_lost_deltas_total{wid=\"%d\"} %d" s.swid s.slost) t.shards;
+  line "# TYPE ids_requests_total counter";
+  List.iter
+    (fun (name, p) ->
+      line "ids_requests_total{protocol=\"%s\",outcome=\"completed\"} %d" name p.completed;
+      line "ids_requests_total{protocol=\"%s\",outcome=\"failed\"} %d" name p.failed)
+    (sorted_protos t);
+  line "# TYPE ids_request_retries_total counter";
+  List.iter
+    (fun (name, p) -> line "ids_request_retries_total{protocol=\"%s\"} %d" name p.retries)
+    (sorted_protos t);
+  let quantiles metric pick =
+    line "# TYPE %s summary" metric;
+    List.iter
+      (fun (name, p) ->
+        let h = pick p in
+        List.iter
+          (fun q ->
+            line "%s{protocol=\"%s\",quantile=\"%g\"} %.3f" metric name q (ms (quantile_us h q)))
+          [ 0.5; 0.99 ];
+        line "%s_count{protocol=\"%s\"} %d" metric name h.count)
+      (sorted_protos t)
+  in
+  quantiles "ids_request_queue_ms" (fun p -> p.q);
+  quantiles "ids_request_run_ms" (fun p -> p.r);
+  quantiles "ids_request_total_ms" (fun p -> p.tot);
+  line "# TYPE ids_obs_counter_total counter";
+  List.iter
+    (fun (c : Obs.counter_snapshot) -> line "ids_obs_counter_total{name=\"%s\"} %d" c.Obs.cname c.Obs.total)
+    (merged t).Obs.counters;
+  Buffer.contents buf

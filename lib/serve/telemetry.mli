@@ -1,0 +1,70 @@
+(** The daemon's service-wide telemetry registry.
+
+    Workers ship {!Request.frame} metric deltas (one per completed request,
+    plus a flush on graceful exit); the server folds them here, keyed by
+    shard (worker slot). The fold obeys an exactly-once discipline:
+
+    - a frame folds when — and only when — its carrier line was delivered
+      whole; a worker killed mid-write loses the entire line, so no partial
+      frame can ever reach the fold;
+    - a delta that dies with its worker (crash while assigned, torn write,
+      or a hole in the per-incarnation frame sequence) is {e counted} in
+      [lost_deltas] — the aggregate says how many windows are missing
+      rather than silently absorbing the gap;
+    - retried attempts recompute from scratch on another worker and fold
+      once, with their own frame.
+
+    Consequently the additive fields of the folded ledger (counter totals,
+    per-round sums, histogram buckets) are exactly the sum of the deltas
+    that were delivered — the E20 bench pins this bit-exactly against an
+    in-process oracle.
+
+    Request latencies (queue wait, worker run, submit-to-response) are
+    recorded per protocol in log-2 microsecond histograms with exact counts
+    and sums; reported p50/p99 are bucket upper bounds (power-of-two
+    granularity), means are exact. *)
+
+type t
+
+val create : workers:int -> t
+
+val on_frame : t -> wid:int -> Request.frame -> unit
+(** Fold one delivered frame into the shard's ledger. Detects worker
+    incarnation changes by pid (resetting the expected frame sequence) and
+    counts sequence holes as lost deltas. *)
+
+val on_flush : t -> wid:int -> Request.frame -> unit
+(** {!on_frame} plus the graceful-exit flush counter. *)
+
+val on_lost : t -> wid:int -> unit
+(** Count one lost delta: the worker died while assigned and no response
+    for the request was salvaged from its pipe. *)
+
+val on_request :
+  t ->
+  protocol:string ->
+  attempts:int ->
+  queue_s:float ->
+  run_s:float ->
+  total_s:float ->
+  ok:bool ->
+  unit
+(** Record one finished request (completed or finally rejected) in the
+    per-protocol tables. [queue_s] is cumulative over attempts, [run_s]
+    the last attempt's worker time, [total_s] submit to response. *)
+
+val lost_deltas : t -> int
+val frames : t -> int
+
+val merged : t -> Ids_obs.Obs.snapshot
+(** The service-wide ledger: every shard's folded deltas merged. *)
+
+val to_json : t -> service:(string * int) list -> uptime_s:float -> string
+(** The full telemetry document (one line): uptime, availability
+    (completed / (completed + rejected) from the [service] counters),
+    [service] counters verbatim, per-protocol latency tables, per-shard
+    fold state with counter totals, and the merged ledger as
+    {!Ids_obs.Obs.snapshot_json}. *)
+
+val to_prometheus : t -> service:(string * int) list -> uptime_s:float -> string
+(** Prometheus-style text exposition of the same data. *)

@@ -238,8 +238,11 @@ let test_request_codec () =
     | Ok r -> checkb "response round-trip" true (r = resp)
     | Error e -> Alcotest.failf "response did not round-trip: %s" e
   in
-  roundtrip (Request.Estimated { id = "a"; attempts = 2; record = {|{"schema_version":3}|} });
-  roundtrip (Request.Stats_reply { id = "s"; stats = [ ("accepted", 4); ("shed", 0) ] });
+  roundtrip
+    (Request.Estimated
+       { id = "a"; attempts = 2; record = {|{"schema_version":3}|}; telemetry = None });
+  roundtrip
+    (Request.Stats_reply { id = "s"; stats = [ ("accepted", 4); ("shed", 0) ]; body = None });
   roundtrip (Request.Pong { id = "p" });
   List.iter
     (fun reject -> roundtrip (Request.Rejected { id = "r"; reject }))

@@ -54,7 +54,7 @@ let test_forked_worker_retry_bit_identical () =
   Pool.shutdown w2;
   ignore (Unix.waitpid [] (Pool.pid w2));
   (match Request.response_of_line line with
-  | Ok (Request.Estimated { id = "it1"; attempts = 2; record }) ->
+  | Ok (Request.Estimated { id = "it1"; attempts = 2; record; _ }) ->
     let want =
       match Catalog.execute_request ~protocol ~strategy ~trials ~fault:Fault.none with
       | Ok r -> r
@@ -64,10 +64,106 @@ let test_forked_worker_retry_bit_identical () =
   | Ok _ -> Alcotest.fail "unexpected response shape"
   | Error e -> Alcotest.failf "bad response line: %s" e)
 
+(* The torn-frame drill at the pool layer (the E20 chaos-during-framing
+   satellite): a worker killed mid-response-write must leave only a partial
+   line behind — which the reader discards wholesale at EOF — and the retry
+   on a fresh worker must produce a byte-identical record with a complete,
+   parseable telemetry frame.  The lost first-attempt delta surfaces as a
+   counted gap (the dead incarnation's frames never arrive), never as a
+   parse error. *)
+let test_torn_frame_lost_delta_clean_retry () =
+  let protocol = "sym_dmam" and strategy = "honest" and trials = 4 in
+  let req =
+    Request.make_estimate ~torn_attempt:1 ~trace:("tr-torn", 3) ~id:"torn1" ~protocol ~strategy
+      ~trials ()
+  in
+  let w1 = Pool.spawn ~telemetry:true ~wid:0 () in
+  checkb "attempt 1 sent" true (Pool.send w1 ~attempt:1 req);
+  (* The worker writes roughly half the line and SIGKILLs itself: the pipe
+     EOFs with a partial line buffered, and `read` must not surface it as a
+     parseable line. *)
+  let rec drain_to_eof salvaged =
+    wait_readable (Pool.read_fd w1);
+    match Pool.read w1 with
+    | `Lines ls -> drain_to_eof (salvaged @ ls)
+    | `Eof -> salvaged
+  in
+  let salvaged = drain_to_eof [] in
+  checkb "no complete line salvaged from the torn write" true (salvaged = []);
+  ignore (Unix.waitpid [] (Pool.pid w1));
+  Pool.shutdown w1;
+  (* Retry on a fresh worker: full line, complete frame, fresh chain. *)
+  let w2 = Pool.spawn ~telemetry:true ~wid:0 () in
+  checkb "attempt 2 sent" true (Pool.send w2 ~attempt:2 req);
+  let line =
+    match read_response w2 with
+    | `Line l -> l
+    | `Eof -> Alcotest.fail "worker died on the retry"
+  in
+  Pool.shutdown w2;
+  ignore (Unix.waitpid [] (Pool.pid w2));
+  match Request.response_of_line line with
+  | Error e -> Alcotest.failf "retried response did not parse: %s" e
+  | Ok (Request.Estimated { id = "torn1"; attempts = 2; record; telemetry = Some f }) ->
+    checkb "fresh incarnation restarts the frame chain" true (f.Request.fseq = 1);
+    checkb "frame echoes the request's trace context" true (f.Request.ftrace = Some ("tr-torn", 3));
+    checkb "frame carries the worker.execute span" true
+      (List.exists (fun (s : Ids_obs.Obs.span_record) -> s.Ids_obs.Obs.sname = "worker.execute") f.Request.fspans);
+    let want =
+      match Catalog.execute_request ~protocol ~strategy ~trials ~fault:Fault.none with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "in-process oracle failed: %s" e
+    in
+    (* Telemetry workers embed a metrics object in the record; compare net
+       of it (every other field must agree exactly). *)
+    let strip r =
+      match Ids_engine.Runlog.of_line r with
+      | Ok rec_ -> { rec_ with Ids_engine.Runlog.metrics = None }
+      | Error e -> Alcotest.failf "record does not parse: %s" e
+    in
+    checkb "retried record identical to the oracle net of metrics" true (strip want = strip record)
+  | Ok _ -> Alcotest.fail "unexpected response shape"
+
+(* Graceful EOF: closing the request pipe must produce a Flush frame whose
+   delta carries everything not yet shipped, so the frame chain telescopes
+   to the worker's full ledger even when the worker exits idle. *)
+let test_graceful_eof_flush () =
+  let req =
+    Request.make_estimate ~id:"f1" ~protocol:"sym_dmam" ~strategy:"honest" ~trials:3 ()
+  in
+  let w = Pool.spawn ~telemetry:true ~wid:0 () in
+  checkb "request sent" true (Pool.send w ~attempt:1 req);
+  (match read_response w with
+  | `Line l -> (
+    match Request.response_of_line l with
+    | Ok (Request.Estimated { telemetry = Some f; _ }) ->
+      checkb "first frame of the incarnation" true (f.Request.fseq = 1)
+    | Ok _ -> Alcotest.fail "telemetry worker shipped no frame"
+    | Error e -> Alcotest.failf "bad response line: %s" e)
+  | `Eof -> Alcotest.fail "worker died");
+  Pool.close_writer w;
+  (match read_response w with
+  | `Line l -> (
+    match Request.response_of_line l with
+    | Ok (Request.Flush f) ->
+      checkb "flush continues the frame chain" true (f.Request.fseq = 2);
+      checkb "flush carries no trace context" true (f.Request.ftrace = None)
+    | Ok _ -> Alcotest.fail "expected a Flush frame on EOF"
+    | Error e -> Alcotest.failf "bad flush line: %s" e)
+  | `Eof -> Alcotest.fail "worker exited without flushing");
+  (match read_response w with
+  | `Eof -> ()
+  | `Line l -> Alcotest.failf "unexpected line after the flush: %s" l);
+  ignore (Unix.waitpid [] (Pool.pid w));
+  Pool.shutdown w
+
 let () =
   Alcotest.run "ids-serve-fork"
     [ ( "serve-fork",
         [ Alcotest.test_case "forked worker: retried result bit-identical" `Quick
-            test_forked_worker_retry_bit_identical
+            test_forked_worker_retry_bit_identical;
+          Alcotest.test_case "torn frame: counted gap, clean retry" `Quick
+            test_torn_frame_lost_delta_clean_retry;
+          Alcotest.test_case "graceful EOF ships a Flush frame" `Quick test_graceful_eof_flush
         ] )
     ]

@@ -1,0 +1,372 @@
+(* Tests for the service telemetry plane (E20): the snapshot delta codec
+   and its exactness guarantees, delta windows (checkpoint/since), the
+   snapshot merge fold, span re-basing across process-epoch anchors, the
+   telemetry frame wire codec, the daemon's per-shard registry fold
+   (sequence holes, worker incarnations, lost-delta accounting, latency
+   quantiles, JSON + Prometheus exposition), the supervisor's queue-wait
+   stamp, and the committed BENCH_telemetry.json artifact. *)
+
+module Obs = Ids_obs.Obs
+module Json = Ids_obs.Json
+module Request = Ids_serve.Request
+module Telemetry = Ids_serve.Telemetry
+module Supervisor = Ids_serve.Supervisor
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* Tracing is process-global state; leave it the way the suite runs. *)
+let with_tracing f =
+  let before = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_metric_filter None;
+      Obs.set_enabled before)
+    f
+
+(* --- snapshot codec ---------------------------------------------------------------- *)
+
+let sample_snapshot =
+  { Obs.counters =
+      [ { Obs.cname = "net.x";
+          total = 7;
+          rounds = [ { Obs.round = 1; sum = 5; max_node = 3 }; { Obs.round = 2; sum = 2; max_node = 2 } ]
+        }
+      ];
+    histos = [ { Obs.hname = "h"; buckets = [ (3, 4) ] } ];
+    spans_dropped = 1
+  }
+
+let test_snapshot_codec_pinned () =
+  (* The wire encoding is pinned byte for byte: server, workers, run-log
+     records and the bench oracle all compare these strings directly. *)
+  let expected =
+    {|{"counters":[{"name":"net.x","total":7,"rounds":[[1,5,3],[2,2,2]]}],"histos":[{"name":"h","buckets":[[3,4]]}],"spans_dropped":1}|}
+  in
+  let line = Obs.snapshot_json sample_snapshot in
+  checks "pinned encoding" expected line;
+  (match Obs.snapshot_of_string line with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok s -> checkb "round-trips to an equal snapshot" true (s = sample_snapshot));
+  (* Strictness: a torn prefix must surface as an error, never a partial
+     snapshot. *)
+  List.iter
+    (fun n ->
+      checkb
+        (Printf.sprintf "prefix of %d bytes rejected" n)
+        true
+        (Result.is_error (Obs.snapshot_of_string (String.sub line 0 n))))
+    [ 10; String.length line / 2; String.length line - 2 ];
+  checkb "missing spans_dropped rejected" true
+    (Result.is_error (Obs.snapshot_of_string {|{"counters":[],"histos":[]}|}))
+
+let test_checkpoint_since_window () =
+  with_tracing (fun () ->
+      let c = Obs.Counter.make "test.win" in
+      Obs.Counter.add_cell c ~round:1 ~node:0 10;
+      Obs.Counter.add_cell c ~round:1 ~node:1 20;
+      let cp = Obs.checkpoint () in
+      Obs.Counter.add_cell c ~round:1 ~node:1 5;
+      Obs.Counter.add_cell c ~round:2 ~node:0 3;
+      let d = Obs.since cp in
+      (* Every field of the window is exact for the window: the pre-existing
+         30 units are invisible, and max_node is the window's own peak. *)
+      checki "window total" 8 (Obs.counter_total d "test.win");
+      match List.find_opt (fun (x : Obs.counter_snapshot) -> x.Obs.cname = "test.win") d.Obs.counters with
+      | None -> Alcotest.fail "window counter missing"
+      | Some cs ->
+        checkb "window rounds exact" true
+          (cs.Obs.rounds
+          = [ { Obs.round = 1; sum = 5; max_node = 5 }; { Obs.round = 2; sum = 3; max_node = 3 } ]))
+
+let test_merge_fold () =
+  let a =
+    { Obs.counters = [ { Obs.cname = "net.x"; total = 3; rounds = [ { Obs.round = 1; sum = 3; max_node = 2 } ] } ];
+      histos = [ { Obs.hname = "h"; buckets = [ (2, 1) ] } ];
+      spans_dropped = 1
+    }
+  in
+  let b =
+    { Obs.counters =
+        [ { Obs.cname = "net.x"; total = 4; rounds = [ { Obs.round = 1; sum = 4; max_node = 3 } ] };
+          { Obs.cname = "net.y"; total = 1; rounds = [] }
+        ];
+      histos = [ { Obs.hname = "h"; buckets = [ (2, 2); (5, 1) ] } ];
+      spans_dropped = 0
+    }
+  in
+  checkb "empty is the identity" true (Obs.merge Obs.empty a = a && Obs.merge a Obs.empty = a);
+  let m = Obs.merge a b in
+  checki "totals add" 7 (Obs.counter_total m "net.x");
+  checki "names union" 1 (Obs.counter_total m "net.y");
+  checkb "fold order does not change the additive fields" true (Obs.merge b a = m);
+  (match List.find_opt (fun (c : Obs.counter_snapshot) -> c.Obs.cname = "net.x") m.Obs.counters with
+  | Some c ->
+    checkb "round sums add, max folds by max" true
+      (c.Obs.rounds = [ { Obs.round = 1; sum = 7; max_node = 3 } ])
+  | None -> Alcotest.fail "merged counter missing");
+  match m.Obs.histos with
+  | [ h ] ->
+    checkb "buckets add" true (h.Obs.buckets = [ (2, 3); (5, 1) ]);
+    checki "spans_dropped adds" 1 m.Obs.spans_dropped
+  | _ -> Alcotest.fail "merged histos wrong shape"
+
+(* --- span re-basing across process epochs (satellite: epoch anchor) ---------------- *)
+
+let span name start_ns = { Obs.sname = name; sround = 1; snode = -1; sdomain = 0; start_ns; dur_ns = 10 }
+
+let test_epoch_anchor_and_rebased_ordering () =
+  (* The anchor is on the shared machine clock and never ahead of now. *)
+  checkb "epoch <= now" true (Obs.epoch_ns () <= Obs.now_ns ());
+  let before = Obs.epoch_ns () in
+  Obs.refresh_epoch ();
+  checkb "refresh moves the anchor forward" true (Obs.epoch_ns () >= before);
+  (* Two workers born at different times ship spans relative to their own
+     anchors. Worker B was born later but its span has the *smaller*
+     relative start — only re-basing (adding the anchor that traveled with
+     each frame) recovers the true machine-clock order. *)
+  let epoch_a = 1_000_000 and epoch_b = 5_000_000 in
+  let rel_a = 3_000_000 (* absolute 4_000_000 *) and rel_b = 100_000 (* absolute 5_100_000 *) in
+  let ship epoch sp =
+    match Obs.spans_of_json (Result.get_ok (Json.parse (Obs.spans_json ~epoch:0 sp))) with
+    | Ok back -> List.map (fun (s : Obs.span_record) -> (s.Obs.sname, s.Obs.start_ns + epoch)) back
+    | Error e -> Alcotest.failf "spans codec: %s" e
+  in
+  let rebased = ship epoch_a [ span "a" rel_a ] @ ship epoch_b [ span "b" rel_b ] in
+  let ordered = List.sort (fun (_, t1) (_, t2) -> compare t1 t2) rebased in
+  checkb "re-based order is machine-clock order" true
+    (List.map fst ordered = [ "a"; "b" ]);
+  checkb "relative order alone would have been wrong" true (rel_b < rel_a);
+  (* And the codec stores starts relative to the shipping epoch. *)
+  match Obs.spans_of_json (Result.get_ok (Json.parse (Obs.spans_json ~epoch:epoch_a [ span "a" (epoch_a + 7) ]))) with
+  | Ok [ s ] -> checki "start stored relative to the anchor" 7 s.Obs.start_ns
+  | Ok _ | Error _ -> Alcotest.fail "single-span codec round-trip failed"
+
+(* --- metric filter ----------------------------------------------------------------- *)
+
+let test_metric_filter () =
+  with_tracing (fun () ->
+      let net = Obs.Counter.make "net.filtered_test" in
+      let inner = Obs.Counter.make "mont.filtered_test" in
+      Obs.set_metric_filter (Some [ "net." ]);
+      Obs.Counter.add net 2;
+      Obs.Counter.add inner 5;
+      let s = Obs.snapshot () in
+      checki "prefixed counter live" 2 (Obs.counter_total s "net.filtered_test");
+      checki "filtered counter records nothing" 0 (Obs.counter_total s "mont.filtered_test");
+      (* Lifting the filter revives the registered handle. *)
+      Obs.set_metric_filter None;
+      Obs.Counter.add inner 3;
+      checki "unfiltered again" 3 (Obs.counter_total (Obs.snapshot ()) "mont.filtered_test"))
+
+(* --- frame wire codec -------------------------------------------------------------- *)
+
+let sample_frame ~trace =
+  { Request.fpid = 4242;
+    fseq = 3;
+    fepoch_ns = 987_654_321;
+    ftrace = trace;
+    fdelta = sample_snapshot;
+    fspans = [ span "worker.execute" 17 ]
+  }
+
+let test_frame_codec () =
+  let roundtrip f =
+    match Request.frame_of_json (Result.get_ok (Json.parse (Request.frame_json f))) with
+    | Ok g -> checkb "frame round-trips" true (g = f)
+    | Error e -> Alcotest.failf "frame did not round-trip: %s" e
+  in
+  roundtrip (sample_frame ~trace:(Some ("trace-9", 5)));
+  roundtrip (sample_frame ~trace:None);
+  let resp_roundtrip resp =
+    match Request.response_of_line (Request.response_to_json resp) with
+    | Ok r -> checkb "response round-trips" true (r = resp)
+    | Error e -> Alcotest.failf "response did not round-trip: %s" e
+  in
+  resp_roundtrip
+    (Request.Estimated
+       { id = "e1";
+         attempts = 2;
+         record = {|{"schema_version":3}|};
+         telemetry = Some (sample_frame ~trace:(Some ("t", 1)))
+       });
+  resp_roundtrip (Request.Flush (sample_frame ~trace:None));
+  resp_roundtrip
+    (Request.Stats_reply { id = "s1"; stats = [ ("accepted", 3) ]; body = Some {|{"uptime_s":1.0}|} });
+  (* Requests carry the trace context and the torn-write fault injector. *)
+  let req =
+    Request.make_estimate ~trace:("trace-1", 7) ~torn_attempt:2 ~id:"r1" ~protocol:"sym_dmam"
+      ~strategy:"honest" ~trials:4 ()
+  in
+  (match Request.of_line (Request.to_json req) with
+  | Ok (r, 1) -> checkb "trace + torn_attempt preserved" true (r = req)
+  | Ok _ -> Alcotest.fail "default attempt wrong"
+  | Error e -> Alcotest.failf "traced request rejected: %s" e);
+  (* Back-compat: a pre-telemetry response line still parses. *)
+  match Request.response_of_line {|{"id":"a","status":"ok","attempts":1,"record":"{}"}|} with
+  | Ok (Request.Estimated { telemetry = None; _ }) -> ()
+  | Ok _ -> Alcotest.fail "pre-telemetry line grew a frame"
+  | Error e -> Alcotest.failf "pre-telemetry line rejected: %s" e
+
+(* --- registry fold ----------------------------------------------------------------- *)
+
+let frame_with ~pid ~seq ~total =
+  { Request.fpid = pid;
+    fseq = seq;
+    fepoch_ns = 0;
+    ftrace = None;
+    fdelta =
+      { Obs.counters = [ { Obs.cname = "net.x"; total; rounds = [] } ]; histos = []; spans_dropped = 0 };
+    fspans = []
+  }
+
+let test_registry_fold () =
+  let reg = Telemetry.create ~workers:2 in
+  Telemetry.on_frame reg ~wid:0 (frame_with ~pid:100 ~seq:1 ~total:5);
+  (* A hole in the per-incarnation sequence is a produced-but-lost frame. *)
+  Telemetry.on_frame reg ~wid:0 (frame_with ~pid:100 ~seq:3 ~total:7);
+  checki "sequence hole counted" 1 (Telemetry.lost_deltas reg);
+  (* A new pid restarts the chain: seq 1 again is a fresh incarnation, not
+     a replay or a gap. *)
+  Telemetry.on_frame reg ~wid:0 (frame_with ~pid:200 ~seq:1 ~total:2);
+  checki "incarnation change adds no loss" 1 (Telemetry.lost_deltas reg);
+  (* A worker that died holding a request loses exactly one window. *)
+  Telemetry.on_lost reg ~wid:1;
+  checki "crash loss counted" 2 (Telemetry.lost_deltas reg);
+  Telemetry.on_flush reg ~wid:1 (frame_with ~pid:300 ~seq:1 ~total:11);
+  checki "frames counted across shards" 4 (Telemetry.frames reg);
+  (* The service ledger is exactly the sum of delivered deltas. *)
+  checki "merged ledger = sum of delivered deltas" 25
+    (Obs.counter_total (Telemetry.merged reg) "net.x")
+
+let test_exposition () =
+  let reg = Telemetry.create ~workers:1 in
+  Telemetry.on_frame reg ~wid:0 (frame_with ~pid:100 ~seq:1 ~total:5);
+  (* Two requests at 3ms and 5ms total: exact mean 4ms; p99 is the
+     power-of-two bucket upper bound covering 5000us, i.e. 8192us. *)
+  Telemetry.on_request reg ~protocol:"sym_dmam" ~attempts:2 ~queue_s:0.001 ~run_s:0.002
+    ~total_s:0.003 ~ok:true;
+  Telemetry.on_request reg ~protocol:"sym_dmam" ~attempts:1 ~queue_s:0.001 ~run_s:0.004
+    ~total_s:0.005 ~ok:true;
+  let service = [ ("completed", 2); ("rejected", 0) ] in
+  let doc = Telemetry.to_json reg ~service ~uptime_s:1.5 in
+  (match Json.parse doc with
+  | Error e -> Alcotest.failf "telemetry document does not parse: %s" e
+  | Ok j ->
+    let num path =
+      match
+        List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+        |> fun v -> Option.bind v Json.to_float
+      with
+      | Some f -> f
+      | None -> Alcotest.failf "missing %s" (String.concat "." path)
+    in
+    checkb "availability 100%" true (num [ "availability" ] = 1.0);
+    checki "frames" 1 (int_of_float (num [ "frames" ]));
+    (match Option.bind (Json.member "protocols" j) Json.to_list with
+    | Some [ p ] ->
+      let f k k2 = match Option.bind (Json.member k p) (fun h -> Option.bind (Json.member k2 h) Json.to_float) with
+        | Some v -> v
+        | None -> Alcotest.failf "missing protocols[0].%s.%s" k k2
+      in
+      checkb "exact mean total ms" true (abs_float (f "total_ms" "mean" -. 4.0) < 0.001);
+      checkb "p99 is the bucket upper bound" true (abs_float (f "total_ms" "p99" -. 8.192) < 0.001);
+      checkb "retries counted" true
+        (Option.bind (Json.member "retries" p) Json.to_int = Some 1)
+    | _ -> Alcotest.fail "expected exactly one protocol row");
+    match Option.bind (Json.member "ledger" j) (Json.member "counters") with
+    | Some _ -> ()
+    | None -> Alcotest.fail "merged ledger missing");
+  let prom = Telemetry.to_prometheus reg ~service ~uptime_s:1.5 in
+  List.iter
+    (fun needle ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      checkb (Printf.sprintf "prometheus text has %S" needle) true (contains prom needle))
+    [ "ids_availability 1.0000";
+      "ids_shard_frames_total{wid=\"0\"} 1";
+      "ids_requests_total{protocol=\"sym_dmam\",outcome=\"completed\"} 2";
+      "ids_obs_counter_total{name=\"net.x\"} 5"
+    ]
+
+(* --- supervisor queue-wait stamp ---------------------------------------------------- *)
+
+let test_supervisor_queued_for () =
+  let cfg = { Supervisor.default with Supervisor.workers = 1; queue_bound = 8 } in
+  let sup = Supervisor.create cfg in
+  let assigns acts =
+    List.filter_map
+      (function Supervisor.Assign { req; queued_for; _ } -> Some (req, queued_for) | _ -> None)
+      acts
+  in
+  (match assigns (Supervisor.step sup ~now:1.0 (Supervisor.Submit "r1")) with
+  | [ ("r1", q) ] -> checkb "immediate dispatch waits ~0" true (q < 1e-9)
+  | _ -> Alcotest.fail "r1 not assigned immediately");
+  checkb "r2 queues behind the busy worker" true
+    (assigns (Supervisor.step sup ~now:1.0 (Supervisor.Submit "r2")) = []);
+  (* The stamp measures enqueue-to-assign on the supervisor's clock. *)
+  match assigns (Supervisor.step sup ~now:1.25 (Supervisor.Done 0)) with
+  | [ ("r2", q) ] -> checkb "queue wait = 0.25s" true (abs_float (q -. 0.25) < 1e-9)
+  | _ -> Alcotest.fail "r2 not assigned after the worker freed"
+
+(* --- committed artifact ------------------------------------------------------------- *)
+
+let test_bench_telemetry_shape () =
+  let path =
+    match List.find_opt Sys.file_exists [ "../BENCH_telemetry.json"; "BENCH_telemetry.json" ] with
+    | Some p -> p
+    | None -> Alcotest.fail "BENCH_telemetry.json not committed"
+  in
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.parse s with
+  | Error e -> Alcotest.failf "BENCH_telemetry.json does not parse: %s" e
+  | Ok j ->
+    let mem k = Json.member k j in
+    let sub name k = Option.bind (mem name) (Json.member k) in
+    checkb "schema_version 1" true (Option.bind (mem "schema_version") Json.to_int = Some 1);
+    List.iter
+      (fun k -> if mem k = None then Alcotest.failf "missing %S" k)
+      [ "mode"; "chaos"; "requests"; "ledger_exact"; "lost_deltas"; "frames"; "counters"; "trace";
+        "overhead"; "torn" ];
+    (* The artifact must witness the E20 acceptance criteria. *)
+    checkb "ledger exactness held" true (mem "ledger_exact" = Some (Json.Bool true));
+    (match Option.bind (sub "trace" "pids") Json.to_int with
+    | Some pids -> checkb "trace stitched across >= 2 pids" true (pids >= 2)
+    | None -> Alcotest.fail "trace.pids not an int");
+    (match Option.bind (sub "overhead" "overhead_pct") Json.to_float with
+    | Some pct -> checkb "enabled-path overhead under 3%" true (pct < 3.0)
+    | None -> Alcotest.fail "overhead.overhead_pct not a number");
+    (match Option.bind (sub "torn" "parse_errors") Json.to_int with
+    | Some 0 -> ()
+    | _ -> Alcotest.fail "torn.parse_errors must be 0");
+    match (Option.bind (sub "requests" "sent") Json.to_int, Option.bind (sub "requests" "completed") Json.to_int) with
+    | Some sent, Some completed -> checkb "all chaos requests completed" true (sent > 0 && sent = completed)
+    | _ -> Alcotest.fail "requests.sent/completed not ints"
+
+let suite =
+  [ ( "telemetry",
+      [ Alcotest.test_case "snapshot codec: pinned encoding, strict reader" `Quick
+          test_snapshot_codec_pinned;
+        Alcotest.test_case "checkpoint/since: exact delta window" `Quick
+          test_checkpoint_since_window;
+        Alcotest.test_case "snapshot merge: additive fold" `Quick test_merge_fold;
+        Alcotest.test_case "epoch anchor: re-based span ordering" `Quick
+          test_epoch_anchor_and_rebased_ordering;
+        Alcotest.test_case "metric filter: prefixes gate the hot path" `Quick test_metric_filter;
+        Alcotest.test_case "frame codec: frames, flushes, trace context" `Quick test_frame_codec;
+        Alcotest.test_case "registry fold: seq holes, incarnations, losses" `Quick
+          test_registry_fold;
+        Alcotest.test_case "exposition: JSON + Prometheus documents" `Quick test_exposition;
+        Alcotest.test_case "supervisor: queue-wait stamp" `Quick test_supervisor_queued_for;
+        Alcotest.test_case "BENCH_telemetry.json shape" `Quick test_bench_telemetry_shape
+      ] )
+  ]
