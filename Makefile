@@ -20,8 +20,8 @@ test:
 # frame drill), and the committed-benchmark trajectory table.
 check:
 	dune build && dune runtest && \
-	dune exec bench/modarith/main.exe -- --smoke && \
-	dune exec bench/setup/main.exe -- --smoke && \
+	dune exec bench/modarith/main.exe -- --smoke -o /dev/null && \
+	dune exec bench/setup/main.exe -- --smoke -o /dev/null && \
 	dune exec bench/frontier/main.exe -- --smoke -o /dev/null && \
 	dune exec bin/ids_inspect.exe -- --self-test && \
 	dune exec bench/obs/main.exe -- --smoke && \

@@ -1,18 +1,24 @@
 (* Microbenchmark for the modular-arithmetic kernel: naive Modarith (long
    division everywhere) versus the precomputed contexts (Montgomery for odd
    moduli, Barrett for even) across modulus sizes bracketing what the
-   protocols draw.
+   protocols draw — plus a live comparison against the frozen 26-bit
+   kernels in Radix26, so the wide-limb engine's speedup is re-measured
+   against the pre-migration baseline on every run instead of trusting a
+   stale committed number.
 
    Full run:   dune exec bench/modarith/main.exe        (writes BENCH_modarith.json)
    Smoke run:  dune exec bench/modarith/main.exe -- --smoke
                (tiny sizes and budgets; wired into @runtest-fast)
 
    Every timed pair is also cross-checked for equality, so the benchmark
-   doubles as an end-to-end oracle test at sizes the unit tests skip. *)
+   doubles as an end-to-end oracle test at sizes the unit tests skip —
+   including the Radix26 legacy path, whose results must round-trip to the
+   same values. *)
 
 module Nat = Ids_bignum.Nat
 module Modarith = Ids_bignum.Modarith
 module Rng = Ids_bignum.Rng
+module Radix26 = Ids_bignum.Radix26
 
 type row = {
   bits : int;
@@ -22,6 +28,8 @@ type row = {
   naive_us : float;
   ctx_us : float;
   speedup : float;
+  legacy_us : float option; (* frozen 26-bit kernel, timed live *)
+  vs_legacy : float option; (* legacy_us / ctx_us *)
 }
 
 let time_us reps f =
@@ -31,9 +39,10 @@ let time_us reps f =
   done;
   (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
 
-(* Best of three: the mul timing windows are a couple of milliseconds, so a
-   single major-GC slice (the pow timings allocate heavily) can skew one
-   side by several x. The minimum is the standard microbenchmark answer. *)
+(* Best of three: a timing window is milliseconds, so a single major-GC
+   slice or scheduler blip can skew one side by tens of percent — enough
+   to trip the 4x pow floor below on a run-to-run fluke. The minimum is
+   the standard microbenchmark answer; every timed column uses it. *)
 let time_us_best reps f = min (time_us reps f) (min (time_us reps f) (time_us reps f))
 
 let random_modulus rng ~bits ~odd =
@@ -56,23 +65,80 @@ let bench_modulus ~pow_reps ~mul_reps rng ~bits ~odd =
   let c = Modarith.ctx m in
   check ~what:"pow" (Modarith.ctx_pow c a e) (Modarith.pow a e m);
   check ~what:"mul" (Modarith.ctx_mul c a b) (Modarith.mul a b m);
-  let rows =
+  let m26 = Radix26.of_nat m in
+  let a26 = Radix26.of_nat a and b26 = Radix26.of_nat b and e26 = Radix26.of_nat e in
+  (* Legacy modular pow needs an odd modulus (26-bit Montgomery); legacy
+     modular mul is mul-then-rem at any parity. *)
+  let legacy_pow =
+    if odd then begin
+      let t26 = Radix26.mont m26 in
+      check ~what:"legacy pow" (Radix26.to_nat (Radix26.mont_pow t26 a26 e26)) (Modarith.pow a e m);
+      Some (fun () -> Radix26.mont_pow t26 a26 e26)
+    end
+    else None
+  in
+  check ~what:"legacy mul" (Radix26.to_nat (Radix26.rem (Radix26.mul a26 b26) m26)) (Modarith.mul a b m);
+  let legacy_mul () = Radix26.rem (Radix26.mul a26 b26) m26 in
+  let finish r =
+    let vs_legacy = Option.map (fun l -> l /. r.ctx_us) r.legacy_us in
+    { r with speedup = r.naive_us /. r.ctx_us; vs_legacy }
+  in
+  List.map finish
     [ { bits; parity; op = "pow"; reps = pow_reps;
-        naive_us = time_us pow_reps (fun () -> Modarith.pow a e m);
-        ctx_us = time_us pow_reps (fun () -> Modarith.ctx_pow c a e);
-        speedup = 0. };
+        naive_us = time_us_best pow_reps (fun () -> Modarith.pow a e m);
+        ctx_us = time_us_best pow_reps (fun () -> Modarith.ctx_pow c a e);
+        speedup = 0.;
+        legacy_us = Option.map (fun f -> time_us_best pow_reps f) legacy_pow;
+        vs_legacy = None };
       { bits; parity; op = "mul"; reps = mul_reps;
         naive_us = time_us_best mul_reps (fun () -> Modarith.mul a b m);
         ctx_us = time_us_best mul_reps (fun () -> Modarith.ctx_mul c a b);
-        speedup = 0. }
+        speedup = 0.;
+        legacy_us = Some (time_us_best mul_reps legacy_mul);
+        vs_legacy = None }
     ]
+
+(* Toom-range products: both operands past the 512-limb tier switch, where
+   mul runs Toom-3 over Karatsuba over the C kernel. The naive column is
+   the pure digit-radix schoolbook oracle, the legacy column the frozen
+   26-bit Karatsuba stack. *)
+let bench_toom rng ~limbs ~reps =
+  let bits = limbs * Nat.base_bits in
+  let top = Nat.shift_left Nat.one (bits - 1) in
+  let a = Nat.add top (Nat.random_below rng top) in
+  let b = Nat.add top (Nat.random_below rng top) in
+  let a26 = Radix26.of_nat a and b26 = Radix26.of_nat b in
+  check ~what:"toom mul" (Nat.mul a b) (Nat.mul_schoolbook a b);
+  check ~what:"toom sqr" (Nat.sqr a) (Nat.mul_schoolbook a a);
+  check ~what:"legacy toom mul" (Radix26.to_nat (Radix26.mul a26 b26)) (Nat.mul a b);
+  let finish r =
+    let vs_legacy = Option.map (fun l -> l /. r.ctx_us) r.legacy_us in
+    { r with speedup = r.naive_us /. r.ctx_us; vs_legacy }
   in
-  List.map (fun r -> { r with speedup = r.naive_us /. r.ctx_us }) rows
+  List.map finish
+    [ { bits; parity = "-"; op = "toom_mul"; reps;
+        naive_us = time_us_best reps (fun () -> Nat.mul_schoolbook a b);
+        ctx_us = time_us_best reps (fun () -> Nat.mul a b);
+        speedup = 0.;
+        legacy_us = Some (time_us_best reps (fun () -> Radix26.mul a26 b26));
+        vs_legacy = None };
+      { bits; parity = "-"; op = "toom_sqr"; reps;
+        naive_us = time_us_best reps (fun () -> Nat.mul_schoolbook a a);
+        ctx_us = time_us_best reps (fun () -> Nat.sqr a);
+        speedup = 0.;
+        legacy_us = Some (time_us_best reps (fun () -> Radix26.mul a26 a26));
+        vs_legacy = None }
+    ]
 
 let json_of_row r =
+  let legacy =
+    match (r.legacy_us, r.vs_legacy) with
+    | Some l, Some v -> Printf.sprintf ", \"legacy_us\": %.2f, \"vs_legacy\": %.2f" l v
+    | _ -> ""
+  in
   Printf.sprintf
-    "    {\"bits\": %d, \"parity\": \"%s\", \"op\": \"%s\", \"reps\": %d, \"naive_us\": %.2f, \"ctx_us\": %.2f, \"speedup\": %.2f}"
-    r.bits r.parity r.op r.reps r.naive_us r.ctx_us r.speedup
+    "    {\"bits\": %d, \"parity\": \"%s\", \"op\": \"%s\", \"reps\": %d, \"naive_us\": %.2f, \"ctx_us\": %.2f, \"speedup\": %.2f%s}"
+    r.bits r.parity r.op r.reps r.naive_us r.ctx_us r.speedup legacy
 
 let () =
   let smoke = ref false and out = ref "BENCH_modarith.json" in
@@ -100,6 +166,12 @@ let () =
         @ bench_modulus ~pow_reps ~mul_reps rng ~bits ~odd:false)
       sizes
   in
+  (* Toom rows only in full mode: the schoolbook oracle at these sizes is
+     tens of milliseconds per product, too slow for @runtest-fast. *)
+  let rows =
+    if !smoke then rows
+    else rows @ bench_toom rng ~limbs:800 ~reps:3 @ bench_toom rng ~limbs:1600 ~reps:3
+  in
   (* ctx_mul now shares the one-shot multiply-and-divide path with naive
      Modarith (the Barrett route measured 0.57-0.82x here and is kept for
      pow chains only), so mul rows must sit at parity: >= 1.0 up to timer
@@ -115,14 +187,43 @@ let () =
           mul_floor;
         exit 1))
     rows;
-  Printf.printf "%6s %6s %5s | %12s %12s | %8s\n" "bits" "parity" "op" "naive (us)" "ctx (us)" "speedup";
+  (* Wide-limb regression floors against the live 26-bit baseline. The
+     migration's contract: windowed pow at protocol sizes (>= 512 bits)
+     gained >= 4x, modular mul never regressed. Smoke sizes are one or two
+     62-bit limbs where fixed per-call costs dominate, so only a loose
+     no-collapse floor applies there. *)
+  let pow_floor bits = if !smoke then 1.0 else if bits >= 512 then 4.0 else 2.0 in
+  (* Smoke-size modular mul is two 62-bit limbs against four 26-bit ones:
+     the work is nanoseconds either way and the ctx pre-checks tip the
+     scales, so only a collapse (not a shortfall) should fail the run. *)
+  let legacy_mul_floor = if !smoke then 0.5 else 1.0 in
   List.iter
     (fun r ->
-      Printf.printf "%6d %6s %5s | %12.2f %12.2f | %7.2fx\n" r.bits r.parity r.op r.naive_us
-        r.ctx_us r.speedup)
+      match r.vs_legacy with
+      | None -> ()
+      | Some v ->
+        let floor =
+          match r.op with
+          | "pow" -> pow_floor r.bits
+          | "mul" -> legacy_mul_floor
+          | _ -> 2.0 (* toom rows: well past both crossovers *)
+        in
+        if v < floor then (
+          Printf.eprintf "FAIL: %s at %d bits is %.2fx the 26-bit baseline (floor %.2f)\n"
+            r.op r.bits v floor;
+          exit 1))
+    rows;
+  Printf.printf "%6s %6s %8s | %12s %12s %12s | %8s %9s\n" "bits" "parity" "op" "naive (us)"
+    "ctx (us)" "legacy (us)" "speedup" "vs_legacy";
+  List.iter
+    (fun r ->
+      let legacy_s = match r.legacy_us with Some l -> Printf.sprintf "%12.2f" l | None -> "           -" in
+      let vs_s = match r.vs_legacy with Some v -> Printf.sprintf "%8.2fx" v | None -> "        -" in
+      Printf.printf "%6d %6s %8s | %12.2f %12.2f %s | %7.2fx %s\n" r.bits r.parity r.op
+        r.naive_us r.ctx_us legacy_s r.speedup vs_s)
     rows;
   let oc = open_out !out in
-  Printf.fprintf oc "{\n  \"schema_version\": 1,\n  \"mode\": \"%s\",\n  \"results\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc "{\n  \"schema_version\": 2,\n  \"mode\": \"%s\",\n  \"results\": [\n%s\n  ]\n}\n"
     (if !smoke then "smoke" else "full")
     (String.concat ",\n" (List.map json_of_row rows));
   close_out oc;

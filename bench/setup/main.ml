@@ -38,12 +38,19 @@ type prime_row = {
   speedup : float;
 }
 
-let time_us reps f =
+let time_us_once reps f =
   let t0 = Unix.gettimeofday () in
   for i = 0 to reps - 1 do
     ignore (Sys.opaque_identity (f i))
   done;
   (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
+
+(* Best of three windows: a single scheduler blip or major-GC slice in a
+   tens-of-milliseconds window skews one side of a ratio by double-digit
+   percents, which matters to the speedup floors below. The minimum is
+   the standard microbenchmark answer. *)
+let time_us reps f =
+  min (time_us_once reps f) (min (time_us_once reps f) (time_us_once reps f))
 
 let seed_base = 7000
 
@@ -63,7 +70,12 @@ let intervals =
     int_range "gni_f40320" (4 * 40320) (8 * 40320);
     int_range "rpls_n6" (4 * 1296) (8 * 1296);
     sym_dam_range 10;
-    sym_dam_range 24
+    sym_dam_range 24;
+    (* n = 32 is past the old 26-bit engine's practical wall (a ~177-bit
+       field prime, where the legacy pow made each Miller-Rabin round the
+       dominant cost): the row is the wide-limb migration's witness that
+       the sym_dam interval keeps scaling. *)
+    sym_dam_range 32
   ]
 
 let bench_interval ~reps (range, lo, hi) =

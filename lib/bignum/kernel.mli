@@ -1,0 +1,35 @@
+(** Raw C kernels over 62-bit-limb int arrays (internal to [lib/bignum] and
+    its benches; no bounds checks beyond the stated contracts).  See
+    ids_kernel.c for the carry-headroom argument.  All destinations must be
+    caller-allocated, exactly sized, and distinct from every operand. *)
+
+val nat_mul : int array -> int array -> int array -> unit
+(** [nat_mul a b dst] writes the [la + lb]-limb product into [dst].
+    Requires [la, lb >= 1] and [la + lb <= mul_cap]. *)
+
+val nat_sqr : int array -> int array -> unit
+(** [nat_sqr a dst] writes the [2 * la]-limb square into [dst].
+    Requires [la >= 1] and [2 * la <= mul_cap]. *)
+
+val mont_mul : int array -> int -> int array -> int array -> int array -> unit
+(** [mont_mul m n0 x y dst]: [dst] (k limbs) := [x*y*R^-1 mod m] where
+    [k = length m <= 512], [R = 2^(62k)], [n0 = -m^-1 mod 2^62], and
+    [x], [y] are k-limb values below [m]. *)
+
+val mont_sqr : int array -> int -> int array -> int array -> unit
+(** [mont_sqr m n0 x dst]: [dst] := [x^2*R^-1 mod m]. *)
+
+val mont_redc : int array -> int -> int array -> int array -> unit
+(** [mont_redc m n0 v dst]: [dst] := [v*R^-1 mod m] for [v] of at most
+    [2k] limbs (Montgomery entry/exit). *)
+
+val mulmod62 : int -> int -> int -> int
+(** [mulmod62 a b p] = [a * b mod p] for [0 <= a, b < p < 2^62]. *)
+
+val mul_cap : int
+(** Operand-size ceiling ([la + lb]) for [nat_mul]/[nat_sqr]; fixed by the
+    C stack buffers. *)
+
+val use_c : bool
+(** False iff [IDS_BIGNUM_KERNEL=ocaml]: route the pure-OCaml fallback
+    kernels instead of the C stubs (chosen once at startup). *)

@@ -53,7 +53,8 @@ let inv_int a m =
 (* ---- Precomputed per-modulus contexts ---------------------------------- *)
 
 (* Barrett reduction (HAC 14.42): for a k-limb modulus m, precompute
-   mu = floor(b^2k / m) with b = 2^26; then for x < b^2k the quotient guess
+   mu = floor(b^2k / m) with b = 2^Nat.base_bits (2^62 since the wide-limb
+   migration); then for x < b^2k the quotient guess
    q3 = floor(floor(x / b^(k-1)) * mu / b^(k+1)) satisfies q3 <= floor(x/m)
    <= q3 + 2, so x - q3*m is non-negative (Nat has no negatives) and at most
    two conditional subtracts complete the reduction. Works for any modulus
@@ -61,7 +62,7 @@ let inv_int a m =
 type barrett = {
   bm : Nat.t;
   bk : int; (* limb count of bm *)
-  mu : Nat.t; (* floor(2^(52*bk) / bm) *)
+  mu : Nat.t; (* floor(2^(2 * base_bits * bk) / bm) *)
 }
 
 let barrett_make m =
@@ -115,17 +116,17 @@ let reduce c a = if Nat.compare a c.modulus >= 0 then Nat.rem a c.modulus else a
 let ctx_add c a b = add (reduce c a) (reduce c b) c.modulus
 let ctx_sub c a b = sub (reduce c a) (reduce c b) c.modulus
 
-(* A one-shot product goes through the plain multiply-and-divide: Barrett
-   reduction replaces the Knuth division with two extra k-limb products, a
-   loss when the quotient structure isn't amortized over a pow chain
-   (BENCH_modarith measured the Barrett route at 0.57-0.82x naive), and
-   Montgomery would add domain conversions on top. Physically equal
-   arguments route to the squaring kernel inside [Nat.mul]. *)
-let ctx_mul c a b = Nat.rem (Nat.mul (reduce c a) (reduce c b)) c.modulus
-
-(* Inside an exponentiation the reduction cost IS amortized: operands stay
-   reduced, so Barrett's quotient guess never misses by more than 2. *)
 let barrett_mul c a b = barrett_reduce c.barrett (Nat.mul a b)
+
+(* One-shot products go through Barrett too since the wide-limb migration:
+   the C multiply kernel makes the two extra k-limb products far cheaper
+   than the Knuth division they replace (the 26-bit engine measured the
+   opposite, 0.57-0.82x naive, because its multiplies cost as much as its
+   divisions). Montgomery would still add domain conversions on top.
+   Operands must be below the modulus for the q3 <= q <= q3 + 2 guarantee,
+   hence the reduce pre-passes; physically equal arguments route to the
+   squaring kernel inside [Nat.mul]. *)
+let ctx_mul c a b = barrett_mul c (reduce c a) (reduce c b)
 
 (* Even-modulus exponentiation: the same 4-bit window over exponent limbs as
    {!Montgomery.pow}, with Barrett-reduced products. *)

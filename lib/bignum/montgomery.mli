@@ -1,12 +1,15 @@
 (** Montgomery modular arithmetic for a fixed odd modulus.
 
     A context precomputes everything that depends only on the modulus — the
-    limb count [k], the Hensel inverse [n0' = -m^(-1) mod 2^26], and
-    [R^2 mod m] for [R = 2^(26k)] — so each multiplication is a single CIOS
-    (coarsely integrated operand scanning) pass over the 26-bit limbs with no
-    long division at all. Exponentiation scans the exponent's limbs directly
-    with a 4-bit window, replacing the one-division-per-bit loop of the naive
-    {!Modarith.pow}.
+    limb count [k], the Hensel inverse [n0' = -m^(-1) mod 2^62], and
+    [R^2 mod m] for [R = 2^(62k)] — so each multiplication is a single fused
+    FIOS (finely integrated operand scanning) pass over the 62-bit limbs with
+    no long division at all: the C kernel folds each [x*y_i] and [mu*m] pair
+    into a k+1-word accumulator using [unsigned __int128] partials (a pure
+    OCaml column-scanning fallback over 31-bit half-limbs answers when
+    [IDS_BIGNUM_KERNEL=ocaml]). Exponentiation scans the exponent's limbs
+    directly with a 4-bit window, replacing the one-division-per-bit loop of
+    the naive {!Modarith.pow}.
 
     Values enter and leave in the ordinary domain: callers never see the
     Montgomery representation. Results are canonical {!Nat.t} values,

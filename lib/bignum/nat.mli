@@ -5,9 +5,12 @@
     GNI protocol hashes into a range proportional to [n!]; both overflow
     native integers almost immediately. No bignum package is available in the
     build environment, so this module implements the required arithmetic from
-    scratch: little-endian arrays of 26-bit limbs, schoolbook multiplication
-    and Knuth Algorithm D division — entirely adequate for the few-hundred-bit
-    numbers the protocols need.
+    scratch: little-endian arrays of 62-bit limbs (the widest radix a 63-bit
+    OCaml int can carry with headroom), C kernels with [unsigned __int128]
+    partials for the quadratic ranges, Karatsuba and Toom-3 tiers above, and
+    Knuth Algorithm D division over a 31-bit digit view — comfortable from the
+    few-hundred-bit protocol numbers up to the multi-hundred-kilobit range the
+    benches exercise.
 
     All values are immutable. Results are always normalized (no leading zero
     limbs), so structural equality coincides with numeric equality. *)
@@ -41,21 +44,21 @@ val sub : t -> t -> t
 (** [sub a b] is [a - b]. @raise Invalid_argument if [a < b]. *)
 
 val mul : t -> t -> t
-(** Schoolbook below 32 limbs, Karatsuba above; physically identical
-    arguments route to {!sqr}. *)
+(** Tiered: C operand-scanning schoolbook below 80 limbs (~5000 bits),
+    Karatsuba in the middle, Toom-3 once both operands reach 512 limbs
+    (~32000 bits); physically identical arguments route to {!sqr}. *)
 
 val mul_schoolbook : t -> t -> t
 (** The plain O(la * lb) product. Reference oracle for the Karatsuba and
     squaring kernels (tests and benches); same results as {!mul}. *)
 
 val sqr : t -> t
-(** [sqr a = mul a a], via product scanning with the symmetric-term trick
-    (half the limb products of the schoolbook rectangle), splitting
-    Karatsuba-style above 512 limbs. *)
+(** [sqr a = mul a a], via the symmetric-term trick (half the limb products
+    of the schoolbook rectangle) up to 512 limbs, Toom-3 above. *)
 
 val mul_int : t -> int -> t
-(** Direct scalar-by-limb sweep for [k < 2^34] (full multiply above).
-    @raise Invalid_argument if [k < 0]. *)
+(** Direct scalar sweep over the 31-bit digit view for [k < 2^31] (full
+    multiply above). @raise Invalid_argument if [k < 0]. *)
 
 val divmod : t -> t -> t * t
 (** [divmod a b] is [(a / b, a mod b)]. @raise Division_by_zero if [b = 0]. *)
@@ -64,9 +67,9 @@ val div : t -> t -> t
 val rem : t -> t -> t
 
 val rem_int : t -> int -> int
-(** [rem_int a d] is [a mod d] in one limb sweep, no quotient allocation.
-    @raise Invalid_argument unless [0 < d < 2^36] (the bound keeps the
-    running remainder's window inside a native int). *)
+(** [rem_int a d] is [a mod d] in one sweep of sub-limb chunks, no quotient
+    allocation. @raise Invalid_argument unless [0 < d < 2^36] (the bound
+    keeps the running remainder's window inside a native int). *)
 
 val pow : t -> int -> t
 (** [pow a k] is [a] raised to the non-negative native exponent [k]. *)
@@ -78,7 +81,7 @@ val bit_length : t -> int
 (** Number of significant bits; [bit_length zero = 0]. *)
 
 val base_bits : int
-(** Bits per limb (26). Fixed by the representation; exposed so kernels built
+(** Bits per limb (62). Fixed by the representation; exposed so kernels built
     on {!to_limbs} (e.g. Montgomery/Barrett reduction) agree on the radix. *)
 
 val to_limbs : t -> int array
@@ -87,7 +90,8 @@ val to_limbs : t -> int array
 
 val of_limbs : int array -> t
 (** Inverse of {!to_limbs}; accepts non-normalized input and copies it.
-    @raise Invalid_argument if any limb is outside [\[0, 2^base_bits)]. *)
+    @raise Invalid_argument if any limb is outside [\[0, 2^base_bits)] —
+    the message names the offending index and the current radix. *)
 
 val of_string : string -> t
 (** Parse a decimal string. @raise Invalid_argument on malformed input. *)
@@ -96,7 +100,10 @@ val to_string : t -> string
 (** Decimal representation. *)
 
 val random_below : Rng.t -> t -> t
-(** [random_below rng n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+(** [random_below rng n] is uniform in [\[0, n)]. Requires [n > 0].
+    Consumes the generator in fixed 26-bit draws (plus one short top draw),
+    low bits first, independent of the storage radix — pinned
+    (seed, interval) -> value tables survive representation changes. *)
 
 val random_in : Rng.t -> t -> t -> t
 (** [random_in rng lo hi] is uniform in [\[lo, hi\]]. Requires [lo <= hi]. *)

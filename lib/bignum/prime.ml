@@ -185,7 +185,7 @@ let nat_batch_count =
   go 0
 
 (* Smallest trial-prime factor (up to [nat_scan_bound]) of a bignum: one
-   [Nat.rem_int] per batch of primes folds the 5-limb candidate down to a
+   [Nat.rem_int] per batch of primes folds the whole candidate down to a
    native residue, then each prime in the batch is a single int [mod]
    (cheaper than a gcd against the batch product at these batch sizes).
    Batches are ascending, so the first hit is the smallest factor. *)

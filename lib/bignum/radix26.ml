@@ -1,0 +1,481 @@
+(* The 26-bit-limb kernels exactly as they shipped in PR 3/PR 5, frozen at
+   the moment Nat migrated to 62-bit limbs. Two jobs:
+
+   - the *committed baseline* for the wide-limb migration: bench/modarith
+     times these kernels live in the same process and asserts the new radix
+     clears its speedup floors (pow >= 4x, mul >= 1x), so the floor is
+     machine-independent instead of a stale wall-clock number;
+   - the *cross-radix oracle*: qcheck drives random operands through both
+     radixes and demands identical values, which checks the 62-bit carry
+     chains against an implementation that never had any.
+
+   Nothing here is reachable from a protocol. The code is a verbatim copy of
+   the old nat.ml/montgomery.ml arithmetic with the module plumbing renamed;
+   keep it frozen — a bug fixed here is a baseline silently re-baselined. *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+
+let zero = [||]
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+(* Bit-exact repacking between limb radixes: limb [j] of the output is bits
+   [j*t, (j+1)*t) of the value, gathered from every source limb of width [s]
+   that overlaps the window — up to ceil(t/s) + 1 of them when widening
+   (26 -> 62 pulls from as many as four source limbs). *)
+let repack ~from_bits ~to_bits src =
+  let total = Array.length src * from_bits in
+  let out_len = (total + to_bits - 1) / to_bits in
+  let out_mask = (1 lsl to_bits) - 1 in
+  (* to_bits = 62 wraps 1 lsl 62 to min_int and the decrement to max_int,
+     which is exactly the 62-bit mask. *)
+  let out =
+    Array.init (max out_len 0) (fun j ->
+        let rec gather acc pos =
+          let bit = (j * to_bits) + pos in
+          if pos >= to_bits || bit >= total then acc
+          else begin
+            let idx = bit / from_bits and off = bit mod from_bits in
+            let chunk = src.(idx) lsr off in
+            gather (acc lor ((chunk lsl pos) land out_mask)) (pos + (from_bits - off))
+          end
+        in
+        gather 0 0)
+  in
+  normalize out
+
+let of_nat n = repack ~from_bits:Nat.base_bits ~to_bits:base_bits (Nat.to_limbs n)
+
+let to_nat a = Nat.of_limbs (repack ~from_bits:base_bits ~to_bits:Nat.base_bits a)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let x = if i < la then a.(i) else 0 in
+    let y = if i < lb then b.(i) else 0 in
+    let s = x + y + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Radix26.sub: would be negative";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let y = if i < lb then b.(i) else 0 in
+    let d = a.(i) - y - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul_schoolbook a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land mask;
+        carry := cur lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land mask;
+        carry := cur lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let sqr_scan_max = 512
+
+let sqr_scan a =
+  let la = Array.length a in
+  let r = Array.make (2 * la) 0 in
+  let carry = ref 0 in
+  for c = 0 to (2 * la) - 2 do
+    let lo = max 0 (c - la + 1) in
+    let hi = (c - 1) asr 1 in
+    let sum = ref 0 in
+    for i = lo to hi do
+      sum := !sum + (a.(i) * a.(c - i))
+    done;
+    let cur = !carry + (2 * !sum) + (if c land 1 = 0 then a.(c / 2) * a.(c / 2) else 0) in
+    r.(c) <- cur land mask;
+    carry := cur lsr base_bits
+  done;
+  r.((2 * la) - 1) <- !carry;
+  normalize r
+
+let add_at r x off =
+  let lx = Array.length x in
+  let carry = ref 0 in
+  for i = 0 to lx - 1 do
+    let cur = r.(off + i) + x.(i) + !carry in
+    r.(off + i) <- cur land mask;
+    carry := cur lsr base_bits
+  done;
+  let j = ref (off + lx) in
+  while !carry <> 0 do
+    let cur = r.(!j) + !carry in
+    r.(!j) <- cur land mask;
+    carry := cur lsr base_bits;
+    incr j
+  done
+
+let combine ~len z0 z1 z2 m =
+  let r = Array.make len 0 in
+  Array.blit z0 0 r 0 (Array.length z0);
+  add_at r z1 m;
+  add_at r z2 (2 * m);
+  normalize r
+
+let rec sqr a =
+  let la = Array.length a in
+  if la = 0 then zero
+  else if la <= sqr_scan_max then sqr_scan a
+  else begin
+    let m = la / 2 in
+    let a0 = normalize (Array.sub a 0 m) and a1 = Array.sub a m (la - m) in
+    let z0 = sqr a0 and z2 = sqr a1 in
+    let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
+    combine ~len:(2 * la) z0 z1 z2 m
+  end
+
+let karatsuba_threshold = 64
+
+let rec mul a b =
+  if a == b then sqr a
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 || lb = 0 then zero
+    else if la < karatsuba_threshold || lb < karatsuba_threshold then mul_schoolbook a b
+    else begin
+      let m = max la lb / 2 in
+      let low x lx = if lx <= m then x else normalize (Array.sub x 0 m) in
+      let high x lx = if lx <= m then zero else Array.sub x m (lx - m) in
+      let a0 = low a la and a1 = high a la in
+      let b0 = low b lb and b1 = high b lb in
+      let z0 = mul a0 b0 in
+      let z2 = mul a1 b1 in
+      let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+      combine ~len:(la + lb) z0 z1 z2 m
+    end
+  end
+
+let bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * base_bits) + width 1
+  end
+
+let shift_left a k =
+  if Array.length a = 0 || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land mask);
+      r.(i + limb_shift + 1) <- v lsr base_bits
+    done;
+    normalize r
+  end
+
+let shift_right a k =
+  if Array.length a = 0 || k = 0 then a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    if limb_shift >= la then zero
+    else begin
+      let n = la - limb_shift in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let divmod_limb a d =
+  assert (d > 0 && d < base);
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, !r)
+
+let divmod a b =
+  if Array.length b = 0 then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_limb a b.(0) in
+    (q, if r = 0 then zero else [| r |])
+  end
+  else begin
+    let shift = base_bits - (bit_length b - ((Array.length b - 1) * base_bits)) in
+    let u = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    let m = Array.length u - n in
+    let u = Array.append u (Array.make (m + n + 2 - Array.length u) 0) in
+    let q = Array.make (m + 1) 0 in
+    let v_top = v.(n - 1) and v_next = v.(n - 2) in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / v_top) and rhat = ref (num mod v_top) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := num - ((base - 1) * v_top)
+      end;
+      let continue = ref true in
+      while !continue && !rhat < base do
+        if !qhat * v_next > (!rhat lsl base_bits) lor u.(j + n - 2) then begin
+          decr qhat;
+          rhat := !rhat + v_top
+        end
+        else continue := false
+      done;
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = u.(j + i) - (p land mask) - !borrow in
+        if d < 0 then begin
+          u.(j + i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(j + i) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        u.(j + n) <- d + base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(j + i) + v.(i) + !carry in
+          u.(j + i) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry) land mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let rem a b = snd (divmod a b)
+
+(* --- the frozen 26-bit Montgomery kernel (PR 3) -------------------------- *)
+
+type mont = {
+  m : int array;
+  k : int;
+  n0 : int;
+  r2 : int array;
+  mutable one_m : int array;
+}
+
+let neg_inv_limb m0 =
+  let x = ref m0 in
+  for _ = 1 to 4 do
+    let d = (2 - (m0 * !x)) land mask in
+    x := !x * d land mask
+  done;
+  assert (m0 * !x land mask = 1);
+  (base - !x) land mask
+
+let pad k limbs =
+  let r = Array.make k 0 in
+  Array.blit limbs 0 r 0 (Array.length limbs);
+  r
+
+let mul_limbs k x y =
+  let r = Array.make (2 * k) 0 in
+  let acc = ref 0 in
+  for c = 0 to (2 * k) - 2 do
+    let lo = if c >= k then c - k + 1 else 0 in
+    let hi = if c < k then c else k - 1 in
+    for i = lo to hi do
+      acc := !acc + (Array.unsafe_get x i * Array.unsafe_get y (c - i))
+    done;
+    Array.unsafe_set r c (!acc land mask);
+    acc := !acc lsr base_bits
+  done;
+  r.((2 * k) - 1) <- !acc;
+  r
+
+let sqr_limbs k x =
+  let r = Array.make (2 * k) 0 in
+  let acc = ref 0 in
+  for c = 0 to (2 * k) - 2 do
+    let lo = if c >= k then c - k + 1 else 0 in
+    let hi = (c - 1) asr 1 in
+    let ps = ref 0 in
+    for i = lo to hi do
+      ps := !ps + (Array.unsafe_get x i * Array.unsafe_get x (c - i))
+    done;
+    acc := !acc + (2 * !ps);
+    if c land 1 = 0 then begin
+      let xi = Array.unsafe_get x (c / 2) in
+      acc := !acc + (xi * xi)
+    end;
+    Array.unsafe_set r c (!acc land mask);
+    acc := !acc lsr base_bits
+  done;
+  r.((2 * k) - 1) <- !acc;
+  r
+
+let redc t v =
+  let k = t.k and m = t.m and n0 = t.n0 in
+  let lv = Array.length v in
+  let mu = Array.make k 0 in
+  let r = Array.make (k + 1) 0 in
+  let acc = ref 0 in
+  for i = 0 to k - 1 do
+    if i < lv then acc := !acc + Array.unsafe_get v i;
+    for j = 0 to i - 1 do
+      acc := !acc + (Array.unsafe_get mu j * Array.unsafe_get m (i - j))
+    done;
+    let mi = (!acc land mask) * n0 land mask in
+    Array.unsafe_set mu i mi;
+    acc := (!acc + (mi * Array.unsafe_get m 0)) lsr base_bits
+  done;
+  for i = k to (2 * k) - 1 do
+    if i < lv then acc := !acc + Array.unsafe_get v i;
+    for j = i - k + 1 to k - 1 do
+      acc := !acc + (Array.unsafe_get mu j * Array.unsafe_get m (i - j))
+    done;
+    Array.unsafe_set r (i - k) (!acc land mask);
+    acc := !acc lsr base_bits
+  done;
+  r.(k) <- !acc;
+  let ge_m =
+    r.(k) <> 0
+    ||
+    let rec cmp i = if i < 0 then true else if r.(i) <> m.(i) then r.(i) > m.(i) else cmp (i - 1) in
+    cmp (k - 1)
+  in
+  if ge_m then begin
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let d = r.(i) - m.(i) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  Array.sub r 0 k
+
+let mont_mul_raw t x y = redc t (mul_limbs t.k x y)
+let mont_sqr_raw t x = redc t (sqr_limbs t.k x)
+
+let mont modulus =
+  let limbs = normalize modulus in
+  let k = Array.length limbs in
+  if k = 0 || limbs.(0) land 1 = 0 then invalid_arg "Radix26.mont: modulus must be odd";
+  if bit_length limbs < 2 then invalid_arg "Radix26.mont: modulus must be >= 3";
+  let r2 = pad k (rem (shift_left [| 1 |] (2 * base_bits * k)) limbs) in
+  let t = { m = limbs; k; n0 = neg_inv_limb limbs.(0); r2; one_m = [||] } in
+  t.one_m <- redc t r2;
+  t
+
+let reduce t a = if compare a t.m >= 0 then rem a t.m else a
+let to_mont t a = mont_mul_raw t (pad t.k (reduce t a)) t.r2
+
+let mont_mul t a b =
+  normalize (mont_mul_raw t (to_mont t a) (pad t.k (reduce t b)))
+
+let window_bits = 4
+
+let mont_pow t a e =
+  let e = normalize e in
+  if Array.length e = 0 then [| 1 |]
+  else begin
+    let am = to_mont t a in
+    let table = Array.make (1 lsl window_bits) t.one_m in
+    table.(1) <- am;
+    for i = 2 to (1 lsl window_bits) - 1 do
+      table.(i) <- mont_mul_raw t table.(i - 1) am
+    done;
+    let nbits = bit_length e in
+    let bit j = e.(j / base_bits) lsr (j mod base_bits) land 1 in
+    let window w =
+      let lo = w * window_bits in
+      let v = ref 0 in
+      for j = min (lo + window_bits - 1) (nbits - 1) downto lo do
+        v := (!v lsl 1) lor bit j
+      done;
+      !v
+    in
+    let nw = (nbits + window_bits - 1) / window_bits in
+    let acc = ref table.(window (nw - 1)) in
+    for w = nw - 2 downto 0 do
+      for _ = 1 to window_bits do
+        acc := mont_sqr_raw t !acc
+      done;
+      let d = window w in
+      if d <> 0 then acc := mont_mul_raw t !acc table.(d)
+    done;
+    normalize (redc t !acc)
+  end

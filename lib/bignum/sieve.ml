@@ -55,8 +55,10 @@ let trial_primes = primes_upto trial_bound
 
 (* Greedy products of consecutive odd trial primes, each kept below 2^36 so
    [Nat.rem_int] can reduce a bignum candidate by a whole batch in one
-   limb sweep; an int gcd against the (squarefree) product then reveals
-   which batch primes divide the candidate. *)
+   pass (the 2^36 window survived the 62-bit limb migration: rem_int now
+   consumes each limb in sub-limb chunks, same bound, same batches); an int
+   gcd against the (squarefree) product then reveals which batch primes
+   divide the candidate. *)
 type batch = { product : int; lo : int; hi : int }
 
 let max_product = 1 lsl 36

@@ -52,6 +52,48 @@ let int_field p =
     to_string = string_of_int
   }
 
+let int62_field p =
+  if p < 2 then invalid_arg "Field.int62_field: modulus too small";
+  (* Any native int below 2^62 qualifies ([max_int] = 2^62 - 1, so every
+     non-negative int does): products run through the C
+     widening kernel, and sums are rearranged so no intermediate leaves the
+     63-bit native range ((a - p) + b is in (-2^62, 2^62)). *)
+  let mul a b = Ids_bignum.Kernel.mulmod62 a b p in
+  let pow_int a e =
+    let rec go acc base e =
+      if e = 0 then acc
+      else begin
+        let acc = if e land 1 = 1 then mul acc base else acc in
+        go acc (mul base base) (e lsr 1)
+      end
+    in
+    if e < 0 then invalid_arg "pow_int: negative exponent" else go 1 (((a mod p) + p) mod p) e
+  in
+  let bits = max 1 (Nat.bit_length (Nat.of_int (p - 1))) in
+  let random rng =
+    let rec draw () =
+      let v = Rng.bits rng bits in
+      if v < p then v else draw ()
+    in
+    draw ()
+  in
+  { bits;
+    size = p;
+    zero = 0;
+    one = 1;
+    add =
+      (fun a b ->
+        let s = a - p + b in
+        if s < 0 then s + p else s);
+    sub = (fun a b -> if a >= b then a - b else a - b + p);
+    mul;
+    equal = Int.equal;
+    of_int = (fun k -> ((k mod p) + p) mod p);
+    pow_int;
+    random;
+    to_string = string_of_int
+  }
+
 let nat_field p =
   if Nat.compare p Nat.two < 0 then invalid_arg "Field.nat_field: modulus too small";
   (* One precomputed context (Montgomery for odd p, Barrett otherwise) backs

@@ -26,5 +26,12 @@ val int_field : int -> int t
 (** [int_field p] for a native prime [p]. Requires [2 <= p < 2^31] so that
     products stay inside a 63-bit integer. *)
 
+val int62_field : int -> int t
+(** [int62_field p] for any native prime [p >= 2] (every non-negative int is
+    below 2^62): same carrier as {!int_field}, but products run through the
+    widening C kernel ({!Ids_bignum.Kernel.mulmod62}) so the modulus is not
+    capped at 2^31. Backs the §4 scale path once the true
+    [\[4 m^1.5, 8 m^1.5\]] prime outgrows the native-product range. *)
+
 val nat_field : Ids_bignum.Nat.t -> Ids_bignum.Nat.t t
 (** [nat_field p] for an arbitrary-precision prime. *)

@@ -12,12 +12,22 @@ type params = { q : int; field : int Field.t; copies : int }
 (* A modulus that makes the eps-API bound meaningful: eps = q (m/q)^k < 1
    needs q > m^(k/(k-1)) for m = n² + n matrix cells, so we draw a seeded
    random prime in [4 m^(3/2), 8 m^(3/2)] (giving eps <= 1/16 at the
-   default k = 3). When that interval leaves the 31-bit mulmod-safe range
-   of the native-int field (n beyond a few hundred), the scale path pins q
-   to a fixed prime just below 2^30: completeness — what the n = 10⁶ run
-   measures — is exact for every q, and a soundness-grade modulus at that
-   size needs the wide-limb bignum work tracked in the ROADMAP. *)
-let scale_q = 1073741789 (* largest prime below 2^30 *)
+   default k = 3).
+
+   Since the wide-limb migration the draw extends past the old 2^30 pin:
+   the 2^62 scalar field (C widening mulmod) covers the true §4 prime for
+   every m up to 2^40 — n beyond 10^6, the largest committed scale run.
+   Above m = 2^40 the interval's lower end 4 m^(3/2) itself outgrows
+   max_int = 2^62 - 1, and q caps at the largest prime below 2^62
+   (completeness stays exact for every q; soundness eps = m³/q² degrades
+   gracefully only past that astronomic point). When max_int truncates the
+   interval's upper end 8 m^(3/2), soundness is unaffected: eps <= 1/16
+   only needs q >= 4 m^(3/2). *)
+let wide_cap_q = 4611686018427387847 (* largest prime below 2^62: 2^62 - 57 *)
+
+(* Largest m with 4 m^(3/2) <= max_int, i.e. m^3 <= 2^120 / 16: m <= 2^40
+   means every product below stays in range (4m < 2^43, isqrt m < 2^21). *)
+let wide_draw_max_m = 1 lsl 40
 
 (* Floor square root, integer-exact (the float seed is only a first guess,
    so the draw below is deterministic across platforms). *)
@@ -35,17 +45,25 @@ let params_for ?(k = Api.default_copies) ~seed g =
   if k < 1 then invalid_arg "Apihash.params_for: need k >= 1";
   let n = Graph.n g in
   let m = (n * n) + n in
-  (* m <= 2^18 is exactly when 8 m^(3/2) <= 2^30; checking m first keeps
-     the product below from overflowing at n = 10^6 (where 4 m^(3/2) would
-     exceed max_int). *)
+  (* m <= 2^18 is exactly when 8 m^(3/2) <= 2^30: the historical native
+     branch, kept verbatim (draw for draw) so every committed small-graph
+     estimate and pin is untouched by the scale lift below. *)
   let q =
     if m <= 1 lsl 18 then begin
       let lo = 4 * m * isqrt m in
       Ids_bignum.Prime.random_prime_in_int (Rng.create (seed lxor 0x4a71)) lo (2 * lo)
     end
-    else scale_q
+    else if m <= wide_draw_max_m then begin
+      let lo = 4 * m * isqrt m in
+      (* 2 * lo can pass max_int near the top of the range; the clamp only
+         trims the interval's upper half, which soundness never needed. *)
+      let hi = if lo <= max_int / 2 then 2 * lo else max_int in
+      Ids_bignum.Prime.random_prime_in_int (Rng.create (seed lxor 0x4a71)) lo hi
+    end
+    else wide_cap_q
   in
-  { q; field = Field.int_field q; copies = k }
+  let field = if q < 1 lsl 31 then Field.int_field q else Field.int62_field q in
+  { q; field; copies = k }
 
 let epsilon params ~n =
   Api.epsilon params.field ~n ~k:params.copies ~q:(float_of_int params.q)

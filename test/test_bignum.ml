@@ -12,7 +12,7 @@ let small_int = QCheck.Gen.int_bound 1_000_000
 
 let gen_pair = QCheck.Gen.pair small_int small_int
 
-(* A random Nat of up to [limbs] 26-bit limbs, built via decimal strings so we
+(* A random Nat of up to [limbs] limbs, built via decimal strings so we
    do not trust the arithmetic under test to construct its own inputs. *)
 let gen_big_string =
   QCheck.Gen.(
@@ -303,9 +303,14 @@ let test_nat_limbs_roundtrip () =
       let a = Nat.of_string s in
       Alcotest.check nat s a (Nat.of_limbs (Nat.to_limbs a)))
     [ "0"; "1"; "67108864"; "123456789012345678901234567890123456789" ];
+  (* At the 62-bit radix every non-negative int is a valid limb (max_int =
+     2^62 - 1), so only negatives can be out of range — and the error names
+     the offending index and the radix. *)
   Alcotest.check_raises "limb out of range"
-    (Invalid_argument "Nat.of_limbs: limb out of range") (fun () ->
-      ignore (Nat.of_limbs [| 1 lsl 26 |]))
+    (Invalid_argument
+       (Printf.sprintf "Nat.of_limbs: limb 1 is -5, outside [0, 2^%d) for the %d-bit radix"
+          Nat.base_bits Nat.base_bits)) (fun () ->
+      ignore (Nat.of_limbs [| 7; -5 |]))
 
 (* --- primality ------------------------------------------------------------ *)
 
@@ -393,6 +398,82 @@ let test_rng_shuffle_permutes () =
   Array.sort Stdlib.compare sorted;
   Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
 
+(* --- cross-radix oracles (wide-limb migration) ----------------------------
+
+   Radix26 is the 26-bit engine frozen at the moment Nat moved to 62-bit
+   limbs. Random operands must produce identical values through both
+   radixes: any carry-chain bug in the wide kernels shows up as a
+   disagreement with an implementation that never had 62-bit carries. *)
+
+let prop_cross_radix_mul_sqr =
+  QCheck.Test.make ~name:"wide-limb mul/sqr match the frozen 26-bit kernels" ~count:80
+    (QCheck.pair arb_huge_string arb_huge_string) (fun (sa, sb) ->
+      let a = Nat.of_string sa and b = Nat.of_string sb in
+      let a26 = Radix26.of_nat a and b26 = Radix26.of_nat b in
+      Nat.equal a (Radix26.to_nat a26)
+      && Nat.equal (Nat.mul a b) (Radix26.to_nat (Radix26.mul a26 b26))
+      && Nat.equal (Nat.sqr a) (Radix26.to_nat (Radix26.mul a26 a26)))
+
+let prop_cross_radix_mont_pow =
+  QCheck.Test.make ~name:"wide-limb Montgomery pow matches the 26-bit kernel" ~count:40
+    arb_ctx_case (fun (sa, se, sm) ->
+      let a = Nat.of_string sa and e = Nat.of_string se in
+      let m = Nat.of_string sm in
+      let m = if Nat.is_zero (Nat.rem m Nat.two) then Nat.add_int m 1 else m in
+      let m = if Nat.compare m (Nat.of_int 3) < 0 then Nat.of_int 3 else m in
+      let t = Montgomery.make m in
+      let t26 = Radix26.mont (Radix26.of_nat m) in
+      let a_red = Nat.rem a m in
+      Nat.equal (Montgomery.pow t a e)
+        (Radix26.to_nat (Radix26.mont_pow t26 (Radix26.of_nat a_red) (Radix26.of_nat e))))
+
+(* --- Toom-3 tier boundaries ------------------------------------------------
+
+   The tier switch sits at 512 limbs per operand; sizes straddling it hit
+   base/Karatsuba/Toom dispatch seams, and saturated or sparse limb
+   patterns stress the evaluation at -1 (the one signed value in the
+   pipeline) and the exact-division-by-3 interpolation step. The digit
+   schoolbook oracle shares no code with any of the tiers. *)
+
+let test_toom_boundary () =
+  let all_ones limbs = Nat.sub (Nat.shift_left Nat.one (62 * limbs)) Nat.one in
+  let top_bit limbs = Nat.shift_left Nat.one ((62 * limbs) - 1) in
+  let sparse limbs =
+    (* top and bottom limb set, zeros between: maximally unbalanced parts *)
+    Nat.add (top_bit limbs) (Nat.of_int 12345)
+  in
+  let rng = Rng.create 0x70f3 in
+  let random_limbs limbs = Nat.add (top_bit limbs) (Nat.random_below rng (top_bit limbs)) in
+  let cases =
+    [ ("511x511", all_ones 511, all_ones 511);
+      ("512x512 saturated", all_ones 512, all_ones 512);
+      ("513x513", all_ones 513, all_ones 513);
+      ("512x511 straddle", random_limbs 512, random_limbs 511);
+      ("513x80 unbalanced", random_limbs 513, random_limbs 80);
+      ("512x512 sparse", sparse 512, sparse 512);
+      ("530x520 random", random_limbs 530, random_limbs 520)
+    ]
+  in
+  List.iter
+    (fun (name, a, b) ->
+      Alcotest.check nat (name ^ " mul") (Nat.mul_schoolbook a b) (Nat.mul a b);
+      Alcotest.check nat (name ^ " sqr") (Nat.mul_schoolbook a a) (Nat.sqr a))
+    cases
+
+(* The scale path's modulus cap: Apihash pins q at the largest prime below
+   2^62 once the true Section-4 interval outgrows max_int. The constant is
+   only sound if it really is the largest such prime. *)
+let test_wide_cap_prime () =
+  let rng = Rng.create 99 in
+  let cap = 4611686018427387847 in
+  Alcotest.(check bool) "2^62 - 57 is prime" true (Prime.is_prime rng (Nat.of_int cap));
+  Alcotest.(check bool) "cap is 2^62 - 57" true (cap = max_int - 56);
+  let rec none_above k =
+    k > max_int
+    || ((not (Prime.is_prime rng (Nat.of_int k))) && (k = max_int || none_above (k + 2)))
+  in
+  Alcotest.(check bool) "no prime between the cap and 2^62" true (none_above (cap + 2))
+
 let test_nat_random_below () =
   let rng = Rng.create 17 in
   let n = Nat.of_string "123456789123456789123456789" in
@@ -451,6 +532,13 @@ let suite =
         Alcotest.test_case "Miller-Rabin known primes/composites" `Quick test_miller_rabin_known;
         Alcotest.test_case "random prime in bignum range" `Quick test_random_prime_in_range;
         Alcotest.test_case "random prime in Protocol-1 ranges" `Quick test_random_prime_int
+      ] );
+    ( "radix",
+      [ qtest prop_cross_radix_mul_sqr;
+        qtest prop_cross_radix_mont_pow;
+        Alcotest.test_case "Toom-3 tier boundaries" `Quick test_toom_boundary;
+        Alcotest.test_case "Apihash wide cap is the largest prime below 2^62" `Quick
+          test_wide_cap_prime
       ] );
     ( "rng",
       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;

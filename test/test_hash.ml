@@ -27,6 +27,38 @@ let test_int_field_ops () =
   Alcotest.(check int) "of_int negative" (p_int - 3) (f_int.Field.of_int (-3));
   Alcotest.(check int) "2^10 mod 97" 54 ((Field.int_field 97).Field.pow_int 2 10)
 
+(* int62_field: same contract as int_field with the 2^31 product cap lifted
+   by the widening C mulmod. Exercised at the largest prime below 2^62,
+   where every product overflows a native int. *)
+let p62 = 4611686018427387847 (* 2^62 - 57 *)
+let f62 = Field.int62_field p62
+
+let test_int62_field_ops () =
+  Alcotest.(check int) "(p-1)^2 = 1" 1 (f62.Field.mul (p62 - 1) (p62 - 1));
+  Alcotest.(check int) "add wraps" (p62 - 2) (f62.Field.add (p62 - 1) (p62 - 1));
+  Alcotest.(check int) "sub wraps" (p62 - 1) (f62.Field.sub 0 1);
+  Alcotest.(check int) "of_int negative" (p62 - 3) (f62.Field.of_int (-3));
+  Alcotest.(check int) "2^62 mod (2^62-57)" 57 (f62.Field.pow_int 2 62);
+  (* Fermat: a^(p-1) = 1 via pow_int's square-and-multiply over 62 bits.
+     p - 1 fits the native exponent argument exactly. *)
+  Alcotest.(check int) "Fermat a^(p-1) = 1" 1 (f62.Field.pow_int 1234567891011 (p62 - 1));
+  (* Agreement with int_field where both are defined. *)
+  let f_a = Field.int_field 10007 and f_b = Field.int62_field 10007 in
+  for a = 9990 to 10006 do
+    for b = 9990 to 10006 do
+      Alcotest.(check int) "mul agrees" (f_a.Field.mul a b) (f_b.Field.mul a b);
+      Alcotest.(check int) "add agrees" (f_a.Field.add a b) (f_b.Field.add a b);
+      Alcotest.(check int) "sub agrees" (f_a.Field.sub a b) (f_b.Field.sub a b)
+    done
+  done
+
+let test_int62_field_random_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    let x = f62.Field.random rng in
+    Alcotest.(check bool) "in range" true (0 <= x && x < p62)
+  done
+
 let test_int_field_random_range () =
   let rng = Rng.create 4 in
   for _ = 1 to 500 do
@@ -233,6 +265,8 @@ let prop_api_combine_commutative =
 let suite =
   [ ( "field",
       [ Alcotest.test_case "int field ops" `Quick test_int_field_ops;
+        Alcotest.test_case "int62 field ops" `Quick test_int62_field_ops;
+        Alcotest.test_case "int62 random in range" `Quick test_int62_field_random_range;
         Alcotest.test_case "random in range" `Quick test_int_field_random_range;
         Alcotest.test_case "rejects oversized modulus" `Quick test_field_rejects_bad_modulus;
         Alcotest.test_case "nat field bits" `Quick test_nat_field_bits
